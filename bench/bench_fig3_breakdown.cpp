@@ -1,0 +1,50 @@
+// Reproduces paper Fig. 3: wall-clock split into MPI time (all MPI calls,
+// buffer loading/unloading, waits) and the remainder, for all six code
+// versions on 1 and 8 A100 GPUs.
+
+#include <iostream>
+
+#include "bench_support/run_experiment.hpp"
+#include "util/table.hpp"
+#include "variants/code_version.hpp"
+
+using namespace simas;
+using bench_support::ExperimentConfig;
+using bench_support::run_experiment;
+
+namespace {
+
+void breakdown_for(int nranks) {
+  Table table(std::to_string(nranks) + " GPU(s): minutes (wall = MPI + rest)");
+  table.set_header({"version", "wall", "wall - MPI", "MPI", "MPI %"});
+  for (const auto version : variants::gpu_versions()) {
+    ExperimentConfig cfg;
+    cfg.version = version;
+    cfg.nranks = nranks;
+    cfg.grid = bench_support::bench_grid();
+    const auto res = run_experiment(cfg);
+    table.row()
+        .cell(variants::version_tag(version))
+        .cell(res.wall_minutes, 1)
+        .cell(res.non_mpi_minutes(), 1)
+        .cell(res.mpi_minutes, 1)
+        .cell(100.0 * res.mpi_minutes / res.wall_minutes, 1);
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 3 reproduction: MPI vs non-MPI time (modeled)\n\n";
+  breakdown_for(1);
+  breakdown_for(8);
+  std::cout
+      << "paper values (minutes, wall / wall-MPI):\n"
+         "  1 GPU : A 200.9/171.9  AD 206.9/177.8  ADU 268.9/227.5\n"
+         "          AD2XU 270.7/229.5  D2XU 273.0/230.9  D2XAd 213.0/183.5\n"
+         "  8 GPUs: A 23.0/21.0  AD 25.3/23.0  ADU 69.6/29.7\n"
+         "          AD2XU 74.1/32.5  D2XU 67.6/31.2  D2XAd 27.4/23.9\n";
+  return 0;
+}

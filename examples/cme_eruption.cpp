@@ -1,0 +1,89 @@
+// CME-like eruption: MAS's other production workload class (paper Sec. III
+// cites Sun-to-Earth CME simulations). A strong azimuthal shear flow is
+// imposed at the inner boundary region, twisting the dipole until magnetic
+// energy builds and an outflow develops — a miniature analog of flux-
+// cancellation CME drivers. Demonstrates driving the public API directly
+// (custom kernels through the Engine) rather than only calling step().
+//
+//   ./cme_eruption [--steps 30 --shear 0.2]
+
+#include <iostream>
+
+#include <cmath>
+
+#include "mhd/ops.hpp"
+#include "mhd/solver.hpp"
+#include "mpisim/comm.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "variants/code_version.hpp"
+
+using namespace simas;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  const int steps = static_cast<int>(opt.get_int("steps", 30));
+  const real shear = opt.get_double("shear", 0.2);
+
+  mhd::SolverConfig cfg;
+  cfg.grid.nr = 24;
+  cfg.grid.nt = 16;
+  cfg.grid.np = 32;
+  cfg.phys.eta = 1.0e-3;  // lower resistivity: store more free energy
+
+  std::cout << "CME-like shear-driven eruption (" << steps
+            << " steps, shear amplitude " << shear << ")\n\n";
+
+  mpisim::World world(1);
+  world.run([&](int rank) {
+    par::Engine engine(variants::engine_config(variants::CodeVersion::A,
+                                               gpusim::a100_40gb(), 4));
+    mpisim::Comm comm(world, rank, engine);
+    mhd::MasSolver solver(engine, comm, cfg);
+    solver.initialize();
+    auto& st = solver.state();
+    const auto& lg = solver.local_grid();
+
+    // Custom driver kernel through the public execution API: azimuthal
+    // shear concentrated at low radius near the equator.
+    static const par::KernelSite& site =
+        SIMAS_SITE("cme_shear_driver", par::SiteKind::ParallelLoop, 0);
+    auto apply_shear = [&]() {
+      engine.for_each(
+          site, par::Range3{0, 2, 0, st.nt, 0, st.np},
+          {par::in(st.vp.id()), par::out(st.vp.id())},
+          [&](idx i, idx j, idx k) {
+            const real th = lg.tc(j);
+            const real profile =
+                std::exp(-sq((th - 0.5 * kPi) / 0.3)) / (1.0 + i);
+            st.vp(i, j, k) = shear * profile;
+          });
+    };
+
+    Table table("eruption diagnostics");
+    table.set_header({"step", "magnetic E", "kinetic E", "max|v|",
+                      "max|divB|"});
+    const real me0 = solver.diagnostics().magnetic_energy;
+    for (int s = 0; s < steps; ++s) {
+      apply_shear();
+      solver.step();
+      if ((s + 1) % 5 == 0) {
+        const auto d = solver.diagnostics();
+        table.row()
+            .cell(s + 1)
+            .cell(d.magnetic_energy, 5)
+            .cell(d.kinetic_energy, 6)
+            .cell(d.max_speed, 4)
+            .cell(d.max_div_b, 14);
+      }
+    }
+    table.print(std::cout);
+    const auto d = solver.diagnostics();
+    std::cout << "\nfree magnetic energy injected by shearing: "
+              << format_fixed(d.magnetic_energy - me0, 5) << " (vs dipole "
+              << format_fixed(me0, 3) << ")\n"
+              << "outflow kinetic energy: "
+              << format_fixed(d.kinetic_energy, 6) << "\n";
+  });
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "bench_support/paper_scale.hpp"
+
+#include <cmath>
+
+namespace simas::bench_support {
+
+double PaperScale::vol_scale(i64 run_cells) const {
+  return static_cast<double>(paper_cells) / static_cast<double>(run_cells);
+}
+
+double PaperScale::surf_scale(i64 run_cells) const {
+  return std::pow(vol_scale(run_cells), 2.0 / 3.0);
+}
+
+double PaperScale::minutes_for(double modeled_seconds_per_step) const {
+  return modeled_seconds_per_step * static_cast<double>(paper_steps) / 60.0;
+}
+
+}  // namespace simas::bench_support

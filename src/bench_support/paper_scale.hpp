@@ -1,0 +1,31 @@
+#pragma once
+// Projection of run-scale work to the paper's test problem.
+//
+// The paper's test case (Sec. V-A) is a 36M-cell thermodynamic coronal
+// relaxation run for the first 24 minutes of a 48-hour simulation. SIMAS
+// executes a smaller grid (so the harness finishes in seconds) and scales
+// each kernel's byte traffic and each message's payload to paper size:
+//   volume terms  x  (paper_cells / run_cells)
+//   surface terms x  (paper_cells / run_cells)^(2/3)
+// The modeled per-step time is then multiplied by the paper-scale step
+// count. Absolute minutes are a model, not a measurement; the reproduction
+// target is the *shape* (ratios between code versions and rank counts).
+
+#include "util/types.hpp"
+
+namespace simas::bench_support {
+
+struct PaperScale {
+  i64 paper_cells = 36'000'000;
+  /// Explicit steps in the paper-scale test segment. Calibrated once so
+  /// that Code 1 on one A100 lands near the paper's ~200 wall-clock
+  /// minutes; all other entries follow from the model.
+  i64 paper_steps = 82'000;
+
+  double vol_scale(i64 run_cells) const;
+  double surf_scale(i64 run_cells) const;
+  /// Projected minutes for the full run given modeled seconds/step.
+  double minutes_for(double modeled_seconds_per_step) const;
+};
+
+}  // namespace simas::bench_support

@@ -1,0 +1,101 @@
+#include "bench_support/run_experiment.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "mhd/solver.hpp"
+#include "mpisim/comm.hpp"
+#include "util/rng.hpp"
+
+namespace simas::bench_support {
+
+grid::GridConfig bench_grid() {
+  grid::GridConfig g;
+  g.nr = 24;
+  g.nt = 16;
+  g.np = 32;
+  g.r_stretch = 4.0;
+  return g;
+}
+
+double jitter_minutes(double minutes, double fraction, u64 seed, int sample) {
+  Rng rng(seed * 1315423911ull + static_cast<u64>(sample) * 2654435761ull);
+  return minutes * (1.0 + fraction * (2.0 * rng.uniform() - 1.0));
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  const i64 run_cells =
+      static_cast<i64>(cfg.grid.nr) * cfg.grid.nt * cfg.grid.np;
+  const double vol_scale = cfg.scale.vol_scale(run_cells);
+  const double surf_scale = cfg.scale.surf_scale(run_cells);
+
+  int threads_total = cfg.host_threads_total;
+  if (threads_total <= 0) {
+    threads_total =
+        std::max(1u, std::thread::hardware_concurrency());
+  }
+  const int threads_per_rank = std::max(1, threads_total / cfg.nranks);
+
+  ExperimentResult result;
+  result.ranks.resize(static_cast<std::size_t>(cfg.nranks));
+  std::mutex result_mutex;
+
+  mpisim::World world(cfg.nranks);
+  world.run([&](int rank) {
+    par::Engine engine(variants::engine_config(cfg.version, cfg.device,
+                                               threads_per_rank));
+    engine.cost().set_scales(vol_scale, surf_scale);
+    engine.cost().set_working_set_shrink(static_cast<double>(cfg.nranks));
+
+    mpisim::Comm comm(world, rank, engine);
+    mhd::SolverConfig scfg;
+    scfg.grid = cfg.grid;
+    scfg.phys = cfg.phys;
+    mhd::MasSolver solver(engine, comm, scfg);
+    solver.initialize();
+
+    for (int s = 0; s < cfg.warmup_steps; ++s) solver.step();
+
+    const double t0 = engine.ledger().now();
+    const double mpi0 = engine.ledger().mpi_time();
+    if (cfg.capture_trace && rank == 0) engine.tracer().enable(true);
+    for (int s = 0; s < cfg.measure_steps; ++s) solver.step();
+    if (cfg.capture_trace && rank == 0) engine.tracer().enable(false);
+    const double dt_step =
+        (engine.ledger().now() - t0) / cfg.measure_steps;
+    const double dt_mpi =
+        (engine.ledger().mpi_time() - mpi0) / cfg.measure_steps;
+
+    RankTiming timing;
+    timing.seconds_per_step = dt_step;
+    timing.mpi_seconds_per_step = dt_mpi;
+    timing.counters = engine.counters();
+
+    const auto diag = solver.diagnostics();
+
+    std::lock_guard<std::mutex> lock(result_mutex);
+    result.ranks[static_cast<std::size_t>(rank)] = timing;
+    if (rank == 0) {
+      result.final_diag = diag;
+      if (cfg.capture_trace) {
+        result.trace = engine.tracer();
+        result.trace_t0 = t0;
+        result.trace_t1 = t0 + dt_step * cfg.measure_steps;
+      }
+    }
+  });
+
+  double worst_step = 0.0, worst_mpi = 0.0;
+  for (const auto& r : result.ranks) {
+    if (r.seconds_per_step > worst_step) {
+      worst_step = r.seconds_per_step;
+      worst_mpi = r.mpi_seconds_per_step;
+    }
+  }
+  result.wall_minutes = cfg.scale.minutes_for(worst_step);
+  result.mpi_minutes = cfg.scale.minutes_for(worst_mpi);
+  return result;
+}
+
+}  // namespace simas::bench_support

@@ -1,0 +1,62 @@
+#pragma once
+// End-to-end experiment runner: executes the MAS-analog solver under a
+// given code version / rank count / device, and reports paper-projected
+// wall-clock and MPI time. This is the engine behind every table/figure
+// bench.
+
+#include <vector>
+
+#include "bench_support/paper_scale.hpp"
+#include "gpusim/device_spec.hpp"
+#include "mhd/config.hpp"
+#include "mhd/ops.hpp"
+#include "par/engine.hpp"
+#include "trace/trace.hpp"
+#include "variants/code_version.hpp"
+
+namespace simas::bench_support {
+
+struct ExperimentConfig {
+  variants::CodeVersion version = variants::CodeVersion::A;
+  int nranks = 1;
+  gpusim::DeviceSpec device = gpusim::a100_40gb();
+  grid::GridConfig grid;        ///< run-scale grid (kept small)
+  mhd::PhysicsConfig phys;
+  int warmup_steps = 1;         ///< excluded from timing
+  int measure_steps = 3;
+  PaperScale scale;
+  int host_threads_total = 0;   ///< 0 = auto (hardware / nranks)
+  bool capture_trace = false;   ///< record rank 0's timeline
+};
+
+struct RankTiming {
+  double seconds_per_step = 0.0;  ///< modeled, paper-scale
+  double mpi_seconds_per_step = 0.0;
+  par::EngineCounters counters;
+};
+
+struct ExperimentResult {
+  /// Paper-projected wall-clock minutes for the full test problem
+  /// (slowest rank; ranks are collective-synchronized so they agree
+  /// closely).
+  double wall_minutes = 0.0;
+  double mpi_minutes = 0.0;
+  double non_mpi_minutes() const { return wall_minutes - mpi_minutes; }
+
+  std::vector<RankTiming> ranks;
+  mhd::GlobalDiagnostics final_diag;  ///< physics validation handle
+  trace::Recorder trace;              ///< rank 0 timeline, if captured
+  double trace_t0 = 0.0, trace_t1 = 0.0;  ///< measured window (modeled s)
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Default run-scale grid for the benches: small enough that a full sweep
+/// of versions x rank counts finishes in seconds.
+grid::GridConfig bench_grid();
+
+/// Apply modeled run-to-run jitter (the paper plots the average of three
+/// runs with min/max error bars).
+double jitter_minutes(double minutes, double fraction, u64 seed, int sample);
+
+}  // namespace simas::bench_support

@@ -1,0 +1,51 @@
+#pragma once
+// 3-D array with ghost layers, i-fastest layout (matching the Fortran MAS
+// loop order `do k / do j / do i`). Indexing accepts i in [-g, n1+g) etc.;
+// the interior is [0, n1) x [0, n2) x [0, n3).
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace simas::field {
+
+class Array3 {
+ public:
+  Array3() = default;
+  Array3(idx n1, idx n2, idx n3, idx nghost = 0, real fill = 0.0);
+
+  idx n1() const { return n1_; }
+  idx n2() const { return n2_; }
+  idx n3() const { return n3_; }
+  idx nghost() const { return g_; }
+
+  /// Total allocated elements (including ghosts).
+  idx size() const { return static_cast<idx>(data_.size()); }
+  i64 bytes() const { return size() * static_cast<i64>(sizeof(real)); }
+
+  real& operator()(idx i, idx j, idx k) { return data_[offset(i, j, k)]; }
+  real operator()(idx i, idx j, idx k) const { return data_[offset(i, j, k)]; }
+
+  real* data() { return data_.data(); }
+  const real* data() const { return data_.data(); }
+
+  void fill(real v);
+
+  /// Interior-only L2 norm and max-abs (serial; used by tests/diagnostics).
+  real norm2_interior() const;
+  real max_abs_interior() const;
+
+ private:
+  std::size_t offset(idx i, idx j, idx k) const {
+    return static_cast<std::size_t>((i + g_) +
+                                    s2_ * (j + g_) +
+                                    s3_ * (k + g_));
+  }
+
+  idx n1_ = 0, n2_ = 0, n3_ = 0, g_ = 0;
+  std::size_t s2_ = 0, s3_ = 0;
+  std::vector<real> data_;
+};
+
+}  // namespace simas::field

@@ -1,0 +1,14 @@
+#include "field/field.hpp"
+
+namespace simas::field {
+
+Field::Field(par::Engine& engine, std::string name, idx n1, idx n2, idx n3,
+             idx nghost, gpusim::ScaleClass scale, bool derived_type_member)
+    : engine_(engine), name_(std::move(name)), a_(n1, n2, n3, nghost) {
+  id_ = engine_.memory().register_array(name_, a_.bytes(), scale,
+                                        derived_type_member);
+}
+
+Field::~Field() { engine_.memory().unregister_array(id_); }
+
+}  // namespace simas::field

@@ -1,0 +1,50 @@
+#pragma once
+// A Field couples an Array3 with its registration in the rank's
+// MemoryManager, so that every kernel access can be accounted (bandwidth,
+// unified-memory paging) and manual data-management calls can be issued
+// against it. Fields are created through the rank's Engine.
+
+#include <string>
+
+#include "field/array3.hpp"
+#include "gpusim/memory_manager.hpp"
+#include "par/engine.hpp"
+
+namespace simas::field {
+
+class Field {
+ public:
+  /// Registers the storage with the engine's memory manager.
+  Field(par::Engine& engine, std::string name, idx n1, idx n2, idx n3,
+        idx nghost = 0, gpusim::ScaleClass scale = gpusim::ScaleClass::Volume,
+        bool derived_type_member = false);
+  ~Field();
+
+  Field(const Field&) = delete;
+  Field& operator=(const Field&) = delete;
+  Field(Field&&) = delete;
+  Field& operator=(Field&&) = delete;
+
+  const std::string& name() const { return name_; }
+  gpusim::ArrayId id() const { return id_; }
+
+  Array3& a() { return a_; }
+  const Array3& a() const { return a_; }
+
+  real& operator()(idx i, idx j, idx k) { return a_(i, j, k); }
+  real operator()(idx i, idx j, idx k) const { return a_(i, j, k); }
+
+  // Manual-data-management convenience (no-ops under unified/host modes).
+  void enter_data() { engine_.memory().enter_data(id_); }
+  void exit_data() { engine_.memory().exit_data(id_); }
+  void update_device() { engine_.memory().update_device(id_); }
+  void update_host() { engine_.memory().update_host(id_); }
+
+ private:
+  par::Engine& engine_;
+  std::string name_;
+  gpusim::ArrayId id_;
+  Array3 a_;
+};
+
+}  // namespace simas::field

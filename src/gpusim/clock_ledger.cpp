@@ -1,0 +1,25 @@
+#include "gpusim/clock_ledger.hpp"
+
+#include <algorithm>
+
+namespace simas::gpusim {
+
+void ClockLedger::advance(double dt, TimeCategory cat) {
+  if (dt <= 0.0) return;
+  now_ += dt;
+  totals_[static_cast<int>(cat)] += dt;
+}
+
+double ClockLedger::wait_until(double t, TimeCategory cat) {
+  const double wait = t - now_;
+  if (wait <= 0.0) return 0.0;
+  advance(wait, cat);
+  return wait;
+}
+
+void ClockLedger::reset() {
+  now_ = 0.0;
+  totals_.fill(0.0);
+}
+
+}  // namespace simas::gpusim

@@ -1,0 +1,89 @@
+#include "gpusim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simas::gpusim {
+
+CostModel::CostModel(DeviceSpec spec, double vol_scale, double surf_scale)
+    : spec_(std::move(spec)),
+      vol_scale_(vol_scale),
+      surf_scale_(surf_scale) {}
+
+void CostModel::set_scales(double vol_scale, double surf_scale) {
+  vol_scale_ = vol_scale;
+  surf_scale_ = surf_scale;
+}
+
+double CostModel::scale(ScaleClass c) const {
+  switch (c) {
+    case ScaleClass::Volume: return vol_scale_;
+    case ScaleClass::Surface: return surf_scale_;
+    case ScaleClass::None: return 1.0;
+  }
+  return 1.0;
+}
+
+void CostModel::set_working_set_shrink(double shrink) {
+  if (shrink <= 1.0) {
+    ws_boost_ = 1.0;
+    return;
+  }
+  ws_boost_ = std::min(spec_.ws_boost_cap,
+                       1.0 + spec_.ws_boost_per_halving * std::log2(shrink));
+}
+
+void CostModel::set_unified_bw_penalty(double penalty) {
+  um_penalty_ = std::clamp(penalty, 0.1, 1.0);
+}
+
+void CostModel::set_dc_bw_penalty(double penalty) {
+  dc_penalty_ = std::clamp(penalty, 0.5, 1.0);
+}
+
+double CostModel::effective_bw() const {
+  return spec_.effective_bw_bytes_per_s() * ws_boost_ * um_penalty_ *
+         dc_penalty_;
+}
+
+double CostModel::kernel_time(i64 bytes, ScaleClass sc) const {
+  return static_cast<double>(bytes) * scale(sc) / effective_bw();
+}
+
+double CostModel::launch_time(bool fused, bool async, bool unified) const {
+  double t = 0.0;
+  if (!fused) {
+    t = spec_.launch_overhead_s;
+    if (async) t *= (1.0 - kAsyncHideFraction);
+  }
+  if (unified) t += spec_.um_kernel_gap_s;
+  return t;
+}
+
+double CostModel::um_migration_time(i64 bytes, ScaleClass sc) const {
+  const double b = static_cast<double>(bytes) * scale(sc);
+  if (b <= 0.0) return 0.0;
+  const double pages = std::ceil(b / spec_.um_page_bytes);
+  return pages * spec_.um_fault_latency_s +
+         b / (spec_.host_link_bw_gbs * 1.0e9);
+}
+
+double CostModel::p2p_transfer_time(i64 bytes, ScaleClass sc) const {
+  const double b = static_cast<double>(bytes) * scale(sc);
+  return spec_.p2p_latency_s + b / (spec_.p2p_bw_gbs * 1.0e9);
+}
+
+double CostModel::host_transfer_time(i64 bytes, ScaleClass sc) const {
+  const double b = static_cast<double>(bytes) * scale(sc);
+  // CPU "devices" send over the network; GPU hosts copy through host DRAM.
+  const double bw =
+      spec_.is_cpu ? spec_.p2p_bw_gbs : std::max(spec_.host_link_bw_gbs, 50.0);
+  return spec_.p2p_latency_s + b / (bw * 1.0e9);
+}
+
+double CostModel::local_copy_time(i64 bytes, ScaleClass sc) const {
+  // Read + write at effective memory bandwidth.
+  return 2.0 * static_cast<double>(bytes) * scale(sc) / effective_bw();
+}
+
+}  // namespace simas::gpusim

@@ -1,0 +1,64 @@
+#include "gpusim/device_select.hpp"
+
+#include <stdexcept>
+
+namespace simas::gpusim {
+
+const char* local_rank_env_var(MpiFlavor flavor) {
+  switch (flavor) {
+    case MpiFlavor::OpenMpi: return "OMPI_COMM_WORLD_LOCAL_RANK";
+    case MpiFlavor::Mpich: return "MPI_LOCALRANKID";
+    case MpiFlavor::Srun: return "SLURM_LOCALID";
+  }
+  return "?";
+}
+
+ResolvedDevice resolve_device(SelectionMethod method, int local_rank,
+                              int gpus_per_node) {
+  if (gpus_per_node < 1)
+    throw std::invalid_argument("resolve_device: need >= 1 GPU per node");
+  if (local_rank < 0)
+    throw std::invalid_argument("resolve_device: negative local rank");
+  ResolvedDevice d;
+  d.physical_id = local_rank % gpus_per_node;
+  switch (method) {
+    case SelectionMethod::SetDeviceDirective:
+      // Process sees every GPU and calls set device_num(physical_id).
+      d.visible_count = gpus_per_node;
+      d.visible_id = d.physical_id;
+      break;
+    case SelectionMethod::LaunchScript:
+      // CUDA_VISIBLE_DEVICES restricts enumeration to one device, which
+      // the process then addresses as device 0.
+      d.visible_count = 1;
+      d.visible_id = 0;
+      break;
+  }
+  return d;
+}
+
+std::string launch_script(MpiFlavor flavor) {
+  // Paper Listing 6, parameterized over the MPI runtime's local-rank
+  // variable ("similar environment variables exist in other MPI
+  // libraries").
+  std::string script;
+  script += "#!/bin/bash\n";
+  script += "# Assume 1 GPU per MPI local rank\n";
+  script += "# Set device for this MPI rank:\n";
+  script += "export CUDA_VISIBLE_DEVICES=\"$";
+  script += local_rank_env_var(flavor);
+  script += "\"\n";
+  script += "# Execute code:\n";
+  script += "exec $*\n";
+  return script;
+}
+
+std::string launch_command(SelectionMethod method, int nranks,
+                           const std::string& binary) {
+  const std::string np = std::to_string(nranks);
+  if (method == SelectionMethod::LaunchScript)
+    return "mpirun -np " + np + " ./launch.sh ./" + binary;
+  return "mpirun -np " + np + " ./" + binary;
+}
+
+}  // namespace simas::gpusim

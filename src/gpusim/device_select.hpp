@@ -1,0 +1,51 @@
+#pragma once
+// Device selection for multi-GPU MPI runs — the paper's last OpenACC
+// directive (Sec. IV-E). Two mechanisms:
+//
+//  * Directive: `!$acc set device_num(local_rank)` inside the code
+//    (Codes 1-4, 6 keep this line in spirit; the directive model counts
+//    it).
+//  * Launch script: paper Listing 6 — a bash wrapper exports
+//    CUDA_VISIBLE_DEVICES from the MPI runtime's local-rank environment
+//    variable so each process only sees its GPU (Codes 5 and 6).
+//
+// SIMAS models both: the resolved device id must be identical either way,
+// and the script generator emits Listing 6 verbatim for the configured
+// MPI flavour.
+
+#include <string>
+
+namespace simas::gpusim {
+
+enum class SelectionMethod {
+  SetDeviceDirective,  ///< !$acc set device_num(...)
+  LaunchScript,        ///< CUDA_VISIBLE_DEVICES wrapper (paper Listing 6)
+};
+
+enum class MpiFlavor { OpenMpi, Mpich, Srun };
+
+/// Environment variable carrying the node-local rank for each MPI flavour.
+const char* local_rank_env_var(MpiFlavor flavor);
+
+/// Device visible to a process of node-local rank `local_rank` on a node
+/// with `gpus_per_node` GPUs ("assume 1 GPU per MPI local rank").
+/// With the directive the process sees all GPUs and selects one; with the
+/// launch script it sees exactly one GPU, which is always device 0 of its
+/// restricted set — both resolve to the same physical device.
+struct ResolvedDevice {
+  int physical_id = 0;   ///< id on the node
+  int visible_id = 0;    ///< id as seen by the process
+  int visible_count = 0; ///< how many devices the process can enumerate
+};
+ResolvedDevice resolve_device(SelectionMethod method, int local_rank,
+                              int gpus_per_node);
+
+/// The launch wrapper of paper Listing 6 for the given MPI flavour.
+std::string launch_script(MpiFlavor flavor);
+
+/// The corresponding mpirun command line, e.g.
+/// "mpirun -np 8 ./launch.sh ./mas ..." vs "mpirun -np 8 ./mas ...".
+std::string launch_command(SelectionMethod method, int nranks,
+                           const std::string& binary);
+
+}  // namespace simas::gpusim

@@ -1,0 +1,46 @@
+#include "gpusim/device_spec.hpp"
+
+namespace simas::gpusim {
+
+DeviceSpec a100_40gb() {
+  DeviceSpec d;
+  d.name = "A100-SXM4-40GB";
+  d.mem_bw_gbs = 1555.0;   // paper Sec. V-B
+  d.eff_bw_fraction = 0.78;
+  d.launch_overhead_s = 9.0e-6;
+  d.p2p_bw_gbs = 235.0;    // NVLink3 effective per direction on Delta
+  d.p2p_latency_s = 2.5e-6;
+  d.host_link_bw_gbs = 14.0;  // PCIe gen4, UM-migration effective
+  d.host_link_latency_s = 9.0e-6;
+  d.um_page_bytes = 2.0 * 1024 * 1024;
+  d.um_fault_latency_s = 40.0e-6;
+  d.um_kernel_gap_s = 2.5e-6;
+  d.um_staging_multiplier = 4.5;
+  d.ws_boost_per_halving = 0.055;
+  d.ws_boost_cap = 1.18;
+  d.mem_bytes = 40.0e9;
+  d.is_cpu = false;
+  return d;
+}
+
+DeviceSpec epyc7742_node() {
+  DeviceSpec d;
+  d.name = "2x-EPYC-7742-node";
+  d.mem_bw_gbs = 409.5;    // paper Sec. V-B (381.4 GiB/s)
+  d.eff_bw_fraction = 0.81;
+  d.launch_overhead_s = 1.5e-6;  // OpenMP-style fork/join barrier cost
+  d.p2p_bw_gbs = 24.0;           // HDR InfiniBand inter-node effective
+  d.p2p_latency_s = 2.0e-6;
+  d.host_link_bw_gbs = 409.5;    // "host link" is just memory for a CPU node
+  d.host_link_latency_s = 0.0;
+  d.um_page_bytes = 4096;
+  d.um_fault_latency_s = 0.0;    // UM is a no-op on the CPU
+  d.um_kernel_gap_s = 0.0;
+  d.ws_boost_per_halving = 0.062;
+  d.ws_boost_cap = 1.20;
+  d.mem_bytes = 256.0e9;
+  d.is_cpu = true;
+  return d;
+}
+
+}  // namespace simas::gpusim

@@ -1,0 +1,71 @@
+#pragma once
+// Hardware models for the platforms used in the paper's evaluation
+// (Sec. V-B): NVIDIA A100 (40 GB) GPUs on NCSA Delta, and dual-socket AMD
+// EPYC 7742 CPU nodes on SDSC Expanse.
+//
+// The simulator executes all kernels on the host for *correctness*; these
+// specs only drive the *modeled* time accounting (see cost_model.hpp).
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace simas::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+
+  /// Peak memory bandwidth of one device (GB/s) and the fraction a
+  /// memory-bound stencil kernel achieves in practice.
+  double mem_bw_gbs = 0.0;
+  double eff_bw_fraction = 0.8;
+
+  /// Fixed cost of launching one compute kernel (seconds). Zero-ish for CPU
+  /// parallel regions, O(10 us) for GPU kernels.
+  double launch_overhead_s = 0.0;
+
+  /// Device-to-device (NVLink) path for CUDA-aware MPI with manually managed
+  /// memory. For CPU "devices" this models the inter-node interconnect.
+  double p2p_bw_gbs = 0.0;
+  double p2p_latency_s = 0.0;
+
+  /// Host link (PCIe) used by unified-memory page migration and staged
+  /// transfers.
+  double host_link_bw_gbs = 0.0;
+  double host_link_latency_s = 0.0;
+
+  /// Unified managed memory parameters: migration granularity, per-fault
+  /// service latency, and the extra inter-kernel gap overhead observed with
+  /// UM enabled (paper Fig. 4: "more overhead ... larger gaps between kernel
+  /// launches").
+  double um_page_bytes = 2.0 * 1024 * 1024;
+  double um_fault_latency_s = 25e-6;
+  double um_kernel_gap_s = 6e-6;
+  /// UM-staged MPI messages thrash pages across the host link several
+  /// times per exchange (paper Fig. 4: "multiple CPU-GPU transfers").
+  double um_staging_multiplier = 1.0;
+
+  /// Working-set locality boost: effective bandwidth gain per halving of
+  /// the per-rank working set, and its cap. Produces the super-linear
+  /// strong scaling seen in the paper (Fig. 2 GPUs; Table III CPU nodes).
+  double ws_boost_per_halving = 0.0;
+  double ws_boost_cap = 1.0;
+
+  /// Device memory capacity in bytes (A100: 40 GB).
+  double mem_bytes = 0.0;
+
+  /// True for CPU nodes (no kernel launches; MPI goes over the network).
+  bool is_cpu = false;
+
+  double effective_bw_bytes_per_s() const {
+    return mem_bw_gbs * 1.0e9 * eff_bw_fraction;
+  }
+};
+
+/// NVIDIA A100-SXM4-40GB as deployed in NCSA Delta 8-GPU nodes.
+DeviceSpec a100_40gb();
+
+/// Dual-socket AMD EPYC 7742 node (SDSC Expanse): 409.5 GB/s aggregate.
+DeviceSpec epyc7742_node();
+
+}  // namespace simas::gpusim

@@ -1,0 +1,114 @@
+#include "gpusim/memory_manager.hpp"
+
+#include <stdexcept>
+
+namespace simas::gpusim {
+
+const char* memory_mode_name(MemoryMode m) {
+  switch (m) {
+    case MemoryMode::HostOnly: return "host";
+    case MemoryMode::Manual: return "manual";
+    case MemoryMode::Unified: return "unified";
+  }
+  return "?";
+}
+
+MemoryManager::MemoryManager(MemoryMode mode, CostModel* cost,
+                             ClockLedger* ledger)
+    : mode_(mode), cost_(cost), ledger_(ledger) {}
+
+ArrayId MemoryManager::register_array(std::string name, i64 bytes,
+                                      ScaleClass scale,
+                                      bool derived_type_member) {
+  ArrayRecord r;
+  r.id = next_id_++;
+  r.name = std::move(name);
+  r.bytes = bytes;
+  r.scale = scale;
+  r.derived_type_member = derived_type_member;
+  arrays_.emplace(r.id, r);
+  if (mode_ == MemoryMode::Unified) um_.add_array(r.id, bytes);
+  return r.id;
+}
+
+void MemoryManager::unregister_array(ArrayId id) {
+  if (mode_ == MemoryMode::Unified) um_.remove_array(id);
+  arrays_.erase(id);
+}
+
+ArrayRecord& MemoryManager::rec(ArrayId id) {
+  const auto it = arrays_.find(id);
+  if (it == arrays_.end())
+    throw std::logic_error("MemoryManager: unknown array id");
+  return it->second;
+}
+
+const ArrayRecord& MemoryManager::record(ArrayId id) const {
+  return const_cast<MemoryManager*>(this)->rec(id);
+}
+
+void MemoryManager::enter_data(ArrayId id, TimeCategory cat) {
+  if (mode_ != MemoryMode::Manual) return;
+  ArrayRecord& r = rec(id);
+  if (r.on_device) return;
+  r.on_device = true;
+  stats_.enter_data_calls++;
+  stats_.manual_h2d_bytes += r.bytes;
+  ledger_->advance(cost_->host_transfer_time(r.bytes, r.scale), cat);
+}
+
+void MemoryManager::exit_data(ArrayId id, TimeCategory cat) {
+  if (mode_ != MemoryMode::Manual) return;
+  ArrayRecord& r = rec(id);
+  if (!r.on_device) return;
+  r.on_device = false;
+  stats_.exit_data_calls++;
+  stats_.manual_d2h_bytes += r.bytes;
+  ledger_->advance(cost_->host_transfer_time(r.bytes, r.scale), cat);
+}
+
+void MemoryManager::update_device(ArrayId id, TimeCategory cat) {
+  if (mode_ != MemoryMode::Manual) return;
+  const ArrayRecord& r = rec(id);
+  stats_.update_device_calls++;
+  stats_.manual_h2d_bytes += r.bytes;
+  ledger_->advance(cost_->host_transfer_time(r.bytes, r.scale), cat);
+}
+
+void MemoryManager::update_host(ArrayId id, TimeCategory cat) {
+  if (mode_ != MemoryMode::Manual) return;
+  const ArrayRecord& r = rec(id);
+  stats_.update_host_calls++;
+  stats_.manual_d2h_bytes += r.bytes;
+  ledger_->advance(cost_->host_transfer_time(r.bytes, r.scale), cat);
+}
+
+i64 MemoryManager::on_device_access(ArrayId id, i64 bytes, TimeCategory cat) {
+  if (mode_ != MemoryMode::Unified) return 0;
+  const ArrayRecord& r = rec(id);
+  const i64 moved = um_.touch_device(id, bytes);
+  if (moved > 0) ledger_->advance(cost_->um_migration_time(moved, r.scale), cat);
+  return moved;
+}
+
+i64 MemoryManager::on_host_access(ArrayId id, i64 bytes, TimeCategory cat) {
+  if (mode_ != MemoryMode::Unified) return 0;
+  const ArrayRecord& r = rec(id);
+  const i64 moved = um_.touch_host(id, bytes);
+  if (moved > 0) ledger_->advance(cost_->um_migration_time(moved, r.scale), cat);
+  return moved;
+}
+
+bool MemoryManager::device_direct_eligible(ArrayId id) const {
+  if (mode_ == MemoryMode::Manual) return record(id).on_device;
+  return false;  // Unified buffers must stage through the host; CPU likewise.
+}
+
+std::vector<ArrayRecord> MemoryManager::arrays() const {
+  std::vector<ArrayRecord> out;
+  out.reserve(arrays_.size());
+  for (const auto& [id, r] : arrays_) out.push_back(r);
+  return out;
+}
+
+}  // namespace simas::gpusim

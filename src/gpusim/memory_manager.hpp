@@ -1,0 +1,100 @@
+#pragma once
+// Device memory management for one simulated rank.
+//
+// Two modes, mirroring the paper's code versions:
+//  * Manual  — OpenACC-style data regions: the application issues explicit
+//    enter_data / exit_data / update_device / update_host calls. Arrays are
+//    device-resident between enter and exit, so CUDA-aware MPI can move them
+//    peer-to-peer. Each *call site* of these APIs is what the directive
+//    model counts as a data-management directive line.
+//  * Unified — NVIDIA unified managed memory: no data calls needed; pages
+//    migrate on demand (see UnifiedPages). Host access (MPI staging) drags
+//    pages back.
+//
+// HostOnly is the CPU configuration (Code 0 and the Table III runs): all
+// data calls are no-ops and kernels read host memory directly.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/clock_ledger.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/unified_pages.hpp"
+#include "util/types.hpp"
+
+namespace simas::gpusim {
+
+enum class MemoryMode { HostOnly, Manual, Unified };
+
+const char* memory_mode_name(MemoryMode m);
+
+using ArrayId = int;
+inline constexpr ArrayId kInvalidArray = -1;
+
+struct ArrayRecord {
+  ArrayId id = kInvalidArray;
+  std::string name;
+  i64 bytes = 0;
+  ScaleClass scale = ScaleClass::Volume;
+  bool derived_type_member = false;
+  bool on_device = false;  ///< Manual mode: inside an enter/exit region
+};
+
+struct MemoryStats {
+  i64 enter_data_calls = 0;
+  i64 exit_data_calls = 0;
+  i64 update_device_calls = 0;
+  i64 update_host_calls = 0;
+  i64 manual_h2d_bytes = 0;
+  i64 manual_d2h_bytes = 0;
+};
+
+class MemoryManager {
+ public:
+  MemoryManager(MemoryMode mode, CostModel* cost, ClockLedger* ledger);
+
+  MemoryMode mode() const { return mode_; }
+  bool unified() const { return mode_ == MemoryMode::Unified; }
+
+  ArrayId register_array(std::string name, i64 bytes,
+                         ScaleClass scale = ScaleClass::Volume,
+                         bool derived_type_member = false);
+  void unregister_array(ArrayId id);
+
+  // ---- Manual-mode data directives (no-ops under Unified / HostOnly) ----
+  void enter_data(ArrayId id, TimeCategory cat = TimeCategory::DataMotion);
+  void exit_data(ArrayId id, TimeCategory cat = TimeCategory::DataMotion);
+  void update_device(ArrayId id, TimeCategory cat = TimeCategory::DataMotion);
+  void update_host(ArrayId id, TimeCategory cat = TimeCategory::DataMotion);
+
+  // ---- Access notifications (issued by the Engine / MPI layer) ----
+  /// A device kernel touches `bytes` of the array. Under Unified this may
+  /// migrate pages (accounted to `cat`). Returns migrated logical bytes.
+  i64 on_device_access(ArrayId id, i64 bytes, TimeCategory cat);
+  /// Host code (MPI staging) touches `bytes`. Under Unified this pages the
+  /// data out of the device. Returns migrated logical bytes.
+  i64 on_host_access(ArrayId id, i64 bytes, TimeCategory cat);
+
+  /// True if MPI can transfer this array device-to-device without staging
+  /// (CUDA-aware MPI with a device-resident buffer).
+  bool device_direct_eligible(ArrayId id) const;
+
+  const ArrayRecord& record(ArrayId id) const;
+  const MemoryStats& stats() const { return stats_; }
+  const UmStats& um_stats() const { return um_.stats(); }
+  std::vector<ArrayRecord> arrays() const;
+
+ private:
+  ArrayRecord& rec(ArrayId id);
+
+  MemoryMode mode_;
+  CostModel* cost_;
+  ClockLedger* ledger_;
+  UnifiedPages um_;
+  std::unordered_map<ArrayId, ArrayRecord> arrays_;
+  ArrayId next_id_ = 0;
+  MemoryStats stats_;
+};
+
+}  // namespace simas::gpusim

@@ -1,0 +1,50 @@
+#include "gpusim/unified_pages.hpp"
+
+#include <algorithm>
+
+namespace simas::gpusim {
+
+void UnifiedPages::add_array(int array_id, i64 bytes) {
+  arrays_[array_id] = Entry{bytes, 0};
+}
+
+void UnifiedPages::remove_array(int array_id) {
+  const auto it = arrays_.find(array_id);
+  if (it == arrays_.end()) return;
+  device_bytes_ -= it->second.device_bytes;
+  arrays_.erase(it);
+}
+
+i64 UnifiedPages::touch_device(int array_id, i64 bytes) {
+  const auto it = arrays_.find(array_id);
+  if (it == arrays_.end()) return 0;
+  Entry& e = it->second;
+  const i64 touched = std::min(bytes, e.bytes);
+  const i64 to_move = std::max<i64>(0, touched - e.device_bytes);
+  if (to_move > 0) {
+    e.device_bytes += to_move;
+    device_bytes_ += to_move;
+    stats_.h2d_bytes += to_move;
+    stats_.migrations += 1;
+  }
+  return to_move;
+}
+
+i64 UnifiedPages::touch_host(int array_id, i64 bytes) {
+  const auto it = arrays_.find(array_id);
+  if (it == arrays_.end()) return 0;
+  Entry& e = it->second;
+  const i64 touched = std::min(bytes, e.bytes);
+  // Host touch invalidates the device copy of the touched range; the pages
+  // that were on the device must be written back.
+  const i64 to_move = std::min(touched, e.device_bytes);
+  if (to_move > 0) {
+    e.device_bytes -= to_move;
+    device_bytes_ -= to_move;
+    stats_.d2h_bytes += to_move;
+    stats_.migrations += 1;
+  }
+  return to_move;
+}
+
+}  // namespace simas::gpusim

@@ -1,0 +1,54 @@
+#pragma once
+// Unified managed memory model: per-array page residency.
+//
+// NVIDIA UM pages data between host and device on demand. We track, for
+// each registered array, how many of its (logical) bytes are resident on
+// the device. A kernel touching an array migrates the missing bytes to the
+// device; a host access (e.g. a non-CUDA-aware MPI send of a UM buffer)
+// migrates the touched bytes back to the host. This is the mechanism behind
+// the paper's Fig. 4: with UM, every halo exchange drags pages across the
+// host link twice instead of using GPU peer-to-peer copies.
+
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace simas::gpusim {
+
+struct UmStats {
+  i64 h2d_bytes = 0;   ///< logical bytes migrated host->device
+  i64 d2h_bytes = 0;   ///< logical bytes migrated device->host
+  i64 migrations = 0;  ///< number of migration events
+};
+
+class UnifiedPages {
+ public:
+  /// Register an array of `bytes` logical bytes; initially host-resident.
+  void add_array(int array_id, i64 bytes);
+  void remove_array(int array_id);
+
+  /// A device kernel touches `bytes` of the array: returns how many bytes
+  /// must migrate host->device (0 if already resident).
+  i64 touch_device(int array_id, i64 bytes);
+
+  /// The host touches `bytes` of the array (MPI staging, setup code):
+  /// returns how many bytes must migrate device->host.
+  i64 touch_host(int array_id, i64 bytes);
+
+  /// Logical bytes currently device-resident across all arrays.
+  i64 device_resident_bytes() const { return device_bytes_; }
+
+  const UmStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = UmStats{}; }
+
+ private:
+  struct Entry {
+    i64 bytes = 0;           // total logical size
+    i64 device_bytes = 0;    // portion resident on device
+  };
+  std::unordered_map<int, Entry> arrays_;
+  i64 device_bytes_ = 0;
+  UmStats stats_;
+};
+
+}  // namespace simas::gpusim

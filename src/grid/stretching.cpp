@@ -1,0 +1,50 @@
+#include "grid/stretching.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace simas::grid {
+
+std::vector<real> geometric_faces(idx n, real x0, real x1, real ratio) {
+  if (n < 1) throw std::invalid_argument("geometric_faces: n must be >= 1");
+  if (x1 <= x0) throw std::invalid_argument("geometric_faces: x1 <= x0");
+  if (ratio <= 0.0) throw std::invalid_argument("geometric_faces: ratio <= 0");
+
+  std::vector<real> faces(static_cast<std::size_t>(n + 1));
+  const real len = x1 - x0;
+  if (n == 1 || std::abs(ratio - 1.0) < 1e-12) {
+    for (idx i = 0; i <= n; ++i)
+      faces[static_cast<std::size_t>(i)] =
+          x0 + len * static_cast<real>(i) / static_cast<real>(n);
+    return faces;
+  }
+  // Widths w_i = w_0 * q^i with q = ratio^(1/(n-1)); sum w_i = len.
+  const real q = std::pow(ratio, 1.0 / static_cast<real>(n - 1));
+  const real w0 = len * (1.0 - q) / (1.0 - std::pow(q, static_cast<real>(n)));
+  real x = x0;
+  real w = w0;
+  faces[0] = x0;
+  for (idx i = 1; i <= n; ++i) {
+    x += w;
+    faces[static_cast<std::size_t>(i)] = x;
+    w *= q;
+  }
+  faces[static_cast<std::size_t>(n)] = x1;  // kill accumulated round-off
+  return faces;
+}
+
+std::vector<real> centers_of(const std::vector<real>& faces) {
+  std::vector<real> c(faces.size() - 1);
+  for (std::size_t i = 0; i + 1 < faces.size(); ++i)
+    c[i] = 0.5 * (faces[i] + faces[i + 1]);
+  return c;
+}
+
+std::vector<real> widths_of(const std::vector<real>& faces) {
+  std::vector<real> w(faces.size() - 1);
+  for (std::size_t i = 0; i + 1 < faces.size(); ++i)
+    w[i] = faces[i + 1] - faces[i];
+  return w;
+}
+
+}  // namespace simas::grid

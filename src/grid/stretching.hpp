@@ -1,0 +1,24 @@
+#pragma once
+// 1-D non-uniform mesh generation. MAS uses a logically rectangular
+// non-uniform spherical grid; radial cells are concentrated near the solar
+// surface with a geometric stretching, and the latitudinal mesh can be
+// focused around the equator/current sheet. We provide geometric stretching
+// with a given total ratio, plus uniform meshes.
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace simas::grid {
+
+/// n+1 face positions covering [x0, x1] with cell widths in geometric
+/// progression; ratio = width(last) / width(first). ratio == 1 -> uniform.
+std::vector<real> geometric_faces(idx n, real x0, real x1, real ratio);
+
+/// Cell centers (midpoints) of a face array.
+std::vector<real> centers_of(const std::vector<real>& faces);
+
+/// Cell widths of a face array.
+std::vector<real> widths_of(const std::vector<real>& faces);
+
+}  // namespace simas::grid

@@ -1,0 +1,153 @@
+#include "mhd/ops.hpp"
+
+namespace simas::mhd {
+
+using par::SiteKind;
+
+namespace {
+
+/// θ-wall ghosts for a cell-centered field: mirror symmetry, with an odd
+/// sign for the θ-normal velocity component (reflecting wall).
+void theta_wall_ghosts(MhdContext& c, field::Field& f, real sign) {
+  static const par::KernelSite& site =
+      SIMAS_SITE("bc_theta_wall_center", SiteKind::ParallelLoop, 11,
+                 false, false, true, /*surface_scaled=*/true);
+  const idx n1 = f.a().n1(), nt = f.a().n2(), np = f.a().n3();
+  c.eng.for_each(site, par::Range3{0, n1, 0, np, 0, 1},
+                 {par::in(f.id()), par::out(f.id())},
+                 [&, sign, nt](idx i, idx k, idx) {
+                   f(i, -1, k) = sign * f(i, 0, k);
+                   f(i, nt, k) = sign * f(i, nt - 1, k);
+                 });
+}
+
+}  // namespace
+
+void apply_center_bcs(MhdContext& c) {
+  State& st = c.st;
+  const idx nloc = st.nloc, nt = st.nt, np = st.np;
+
+  // θ walls for all centered fields (vt is odd across the wall).
+  theta_wall_ghosts(c, st.rho, 1.0);
+  theta_wall_ghosts(c, st.temp, 1.0);
+  theta_wall_ghosts(c, st.vr, 1.0);
+  theta_wall_ghosts(c, st.vt, -1.0);
+  theta_wall_ghosts(c, st.vp, 1.0);
+
+  // Inner radial boundary (solar surface): line-tied, fixed T and ρ at the
+  // boundary face; velocities vanish at the face (odd ghosts).
+  if (c.lg.at_inner_boundary()) {
+    static const par::KernelSite& site =
+        SIMAS_SITE("bc_inner_r_center", SiteKind::ParallelLoop, 12, false,
+                   false, true, /*surface_scaled=*/true);
+    field::Field& rho = st.rho;
+    field::Field& temp = st.temp;
+    field::Field& vr = st.vr;
+    field::Field& vt = st.vt;
+    field::Field& vp = st.vp;
+    c.eng.for_each(site, par::Range3{0, nt, 0, np, 0, 1},
+                   {par::in(rho.id()), par::out(rho.id()),
+                    par::in(temp.id()), par::out(temp.id()),
+                    par::out(vr.id()), par::out(vt.id()), par::out(vp.id())},
+                   [&](idx j, idx k, idx) {
+                     // Face value = 1 (base atmosphere) for ρ and T.
+                     rho(-1, j, k) = 2.0 - rho(0, j, k);
+                     temp(-1, j, k) = 2.0 - temp(0, j, k);
+                     vr(-1, j, k) = -vr(0, j, k);
+                     vt(-1, j, k) = -vt(0, j, k);
+                     vp(-1, j, k) = -vp(0, j, k);
+                   });
+  }
+
+  // Outer radial boundary: open (zero-gradient) ghosts.
+  if (c.lg.at_outer_boundary()) {
+    static const par::KernelSite& site =
+        SIMAS_SITE("bc_outer_r_center", SiteKind::ParallelLoop, 12, false,
+                   false, true, /*surface_scaled=*/true);
+    field::Field& rho = st.rho;
+    field::Field& temp = st.temp;
+    field::Field& vr = st.vr;
+    field::Field& vt = st.vt;
+    field::Field& vp = st.vp;
+    c.eng.for_each(site, par::Range3{0, nt, 0, np, 0, 1},
+                   {par::in(rho.id()), par::out(rho.id()),
+                    par::in(temp.id()), par::out(temp.id()),
+                    par::in(vr.id()), par::out(vr.id()), par::out(vt.id()),
+                    par::out(vp.id())},
+                   [&, nloc](idx j, idx k, idx) {
+                     rho(nloc, j, k) = rho(nloc - 1, j, k);
+                     temp(nloc, j, k) = temp(nloc - 1, j, k);
+                     vr(nloc, j, k) = vr(nloc - 1, j, k);
+                     vt(nloc, j, k) = vt(nloc - 1, j, k);
+                     vp(nloc, j, k) = vp(nloc - 1, j, k);
+                   });
+  }
+}
+
+void exchange_center_ghosts(MhdContext& c) {
+  c.halo.exchange_r(c.st.center_fields());
+  c.halo.wrap_phi(c.st.center_fields());
+  apply_center_bcs(c);
+}
+
+void apply_b_ghosts(MhdContext& c) {
+  State& st = c.st;
+  const idx nloc = st.nloc, nt = st.nt, np = st.np;
+
+  // Rank halos for the center-dimensioned face fields.
+  c.halo.exchange_r({&st.bt, &st.bp});
+  c.halo.wrap_phi({&st.br, &st.bt, &st.bp});
+
+  // θ-wall ghosts: bt is wall-normal (odd about the fixed wall flux), br
+  // and bp mirror.
+  {
+    static const par::KernelSite& site =
+        SIMAS_SITE("bc_theta_wall_b", SiteKind::ParallelLoop, 13, false,
+                   false, true, /*surface_scaled=*/true);
+    field::Field& br = st.br;
+    field::Field& bt = st.bt;
+    field::Field& bp = st.bp;
+    c.eng.for_each(site, par::Range3{0, nloc + 1, 0, np, 0, 1},
+                   {par::in(br.id()), par::out(br.id()), par::in(bt.id()),
+                    par::out(bt.id()), par::in(bp.id()), par::out(bp.id())},
+                   [&, nloc, nt](idx i, idx k, idx) {
+                     br(i, -1, k) = br(i, 0, k);
+                     br(i, nt, k) = br(i, nt - 1, k);
+                     if (i < nloc) {
+                       bt(i, -1, k) = bt(i, 1, k);
+                       bt(i, nt + 1, k) = bt(i, nt - 1, k);
+                       bp(i, -1, k) = bp(i, 0, k);
+                       bp(i, nt, k) = bp(i, nt - 1, k);
+                     }
+                   });
+  }
+
+  // Radial ghosts at the physical boundaries (zero-gradient).
+  if (c.lg.at_inner_boundary() || c.lg.at_outer_boundary()) {
+    static const par::KernelSite& site =
+        SIMAS_SITE("bc_r_walls_b", SiteKind::ParallelLoop, 13, false,
+                   false, true, /*surface_scaled=*/true);
+    const bool inner = c.lg.at_inner_boundary();
+    const bool outer = c.lg.at_outer_boundary();
+    field::Field& br = st.br;
+    field::Field& bt = st.bt;
+    field::Field& bp = st.bp;
+    c.eng.for_each(site, par::Range3{0, nt + 1, 0, np, 0, 1},
+                   {par::in(br.id()), par::out(br.id()), par::in(bt.id()),
+                    par::out(bt.id()), par::in(bp.id()), par::out(bp.id())},
+                   [&, nloc, inner, outer, nt](idx j, idx k, idx) {
+                     if (inner) {
+                       br(-1, j, k) = br(0, j, k);
+                       bt(-1, j, k) = bt(0, j, k);
+                       if (j < nt) bp(-1, j, k) = bp(0, j, k);
+                     }
+                     if (outer) {
+                       br(nloc + 1, j, k) = br(nloc, j, k);
+                       bt(nloc, j, k) = bt(nloc - 1, j, k);
+                       if (j < nt) bp(nloc, j, k) = bp(nloc - 1, j, k);
+                     }
+                   });
+  }
+}
+
+}  // namespace simas::mhd

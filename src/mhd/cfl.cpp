@@ -1,0 +1,51 @@
+#include <algorithm>
+#include <cmath>
+
+#include "mhd/ops.hpp"
+
+namespace simas::mhd {
+
+using par::SiteKind;
+
+// Explicit stability limit from the fast magnetosonic speed plus the
+// resistive diffusion limit, globally reduced (scalar reduction + MPI
+// allreduce, the loop class of paper Sec. IV-B Listing 3 context).
+real cfl_timestep(MhdContext& c) {
+  State& st = c.st;
+  const grid::LocalGrid& lg = c.lg;
+  const PhysicsConfig& ph = c.phys;
+  const real gamma = ph.gamma;
+  const real eta = ph.eta;
+
+  static const par::KernelSite& site =
+      SIMAS_SITE("cfl_max_wave_speed", SiteKind::ScalarReduction, 0);
+
+  const real local_max = c.eng.reduce_max(
+      site, par::Range3{0, st.nloc, 0, st.nt, 0, st.np},
+      {par::in(st.rho.id()), par::in(st.temp.id()), par::in(st.vr.id()),
+       par::in(st.vt.id()), par::in(st.vp.id()), par::in(st.bcr.id()),
+       par::in(st.bct.id()), par::in(st.bcp.id())},
+      [&](idx i, idx j, idx k) -> real {
+        const real rho = std::max<real>(st.rho(i, j, k), 1.0e-12);
+        const real cs2 = gamma * std::max<real>(st.temp(i, j, k), 0.0);
+        const real b2 = sq(st.bcr(i, j, k)) + sq(st.bct(i, j, k)) +
+                        sq(st.bcp(i, j, k));
+        const real vf = std::sqrt(cs2 + b2 / rho);
+        const real hr = lg.drc(i);
+        const real ht = lg.rc(i) * lg.dtc(j);
+        const real hp = lg.rc(i) * lg.stc(j) * lg.dph();
+        const real hmin = std::min(hr, std::min(ht, hp));
+        const real adv = (std::abs(st.vr(i, j, k)) +
+                          std::abs(st.vt(i, j, k)) +
+                          std::abs(st.vp(i, j, k)) + vf) /
+                         hmin;
+        const real diff = 4.0 * eta / sq(hmin);
+        return std::max(adv, diff);
+      });
+
+  const real global_max =
+      std::max(c.comm.allreduce_max(local_max), 1.0e-12);
+  return ph.cfl / global_max;
+}
+
+}  // namespace simas::mhd

@@ -1,0 +1,72 @@
+#include "mhd/checkpoint.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "field/field.hpp"
+
+namespace simas::mhd {
+
+namespace {
+
+void write_field(std::ostream& os, const field::Array3& a) {
+  os.write(reinterpret_cast<const char*>(a.data()),
+           static_cast<std::streamsize>(a.bytes()));
+}
+
+void read_field(std::istream& is, field::Array3& a) {
+  is.read(reinterpret_cast<char*>(a.data()),
+          static_cast<std::streamsize>(a.bytes()));
+  if (!is) throw std::runtime_error("checkpoint: truncated field data");
+}
+
+std::vector<const field::Field*> persistent_fields(const State& st) {
+  return {&st.rho, &st.temp, &st.vr, &st.vt, &st.vp,
+          &st.br,  &st.bt,   &st.bp};
+}
+
+}  // namespace
+
+void write_checkpoint(std::ostream& os, const State& st, i64 steps_taken,
+                      double sim_time) {
+  CheckpointHeader h;
+  h.nloc = st.nloc;
+  h.nt = st.nt;
+  h.np = st.np;
+  h.steps_taken = steps_taken;
+  h.sim_time = sim_time;
+  os.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  for (const field::Field* f : persistent_fields(st))
+    write_field(os, f->a());
+  if (!os) throw std::runtime_error("checkpoint: write failed");
+}
+
+CheckpointHeader read_checkpoint(std::istream& is, State& st) {
+  CheckpointHeader h;
+  is.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!is || h.magic != CheckpointHeader{}.magic)
+    throw std::runtime_error("checkpoint: bad magic / truncated header");
+  if (h.version != CheckpointHeader{}.version)
+    throw std::runtime_error("checkpoint: unsupported version");
+  if (h.nloc != st.nloc || h.nt != st.nt || h.np != st.np)
+    throw std::runtime_error("checkpoint: shape mismatch");
+  for (const field::Field* f : persistent_fields(st))
+    read_field(is, const_cast<field::Field*>(f)->a());
+  return h;
+}
+
+void save_checkpoint(const std::string& path, const State& st,
+                     i64 steps_taken, double sim_time) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
+  write_checkpoint(os, st, steps_taken, sim_time);
+}
+
+CheckpointHeader load_checkpoint(const std::string& path, State& st) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  return read_checkpoint(is, st);
+}
+
+}  // namespace simas::mhd

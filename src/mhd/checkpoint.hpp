@@ -1,0 +1,36 @@
+#pragma once
+// Checkpoint / restart. MAS production runs span 48 hours of simulated
+// time (paper Sec. V-A runs the first 24 minutes of such a run); long
+// campaigns restart from binary state dumps. SIMAS checkpoints the full
+// per-rank primitive state with a versioned header and validates shape on
+// restore, so a restarted run continues bit-for-bit.
+
+#include <iosfwd>
+#include <string>
+
+#include "mhd/state.hpp"
+
+namespace simas::mhd {
+
+struct CheckpointHeader {
+  u32 magic = 0x53494D53;  // "SIMS"
+  u32 version = 1;
+  i64 nloc = 0, nt = 0, np = 0;
+  i64 steps_taken = 0;
+  double sim_time = 0.0;
+};
+
+/// Write the primitive fields (ρ, T, v, face B) including ghost layers.
+void write_checkpoint(std::ostream& os, const State& st, i64 steps_taken,
+                      double sim_time);
+
+/// Restore into an already-constructed State of the same shape. Throws
+/// std::runtime_error on magic/shape mismatch. Returns the header.
+CheckpointHeader read_checkpoint(std::istream& is, State& st);
+
+/// File-based convenience wrappers.
+void save_checkpoint(const std::string& path, const State& st,
+                     i64 steps_taken, double sim_time);
+CheckpointHeader load_checkpoint(const std::string& path, State& st);
+
+}  // namespace simas::mhd

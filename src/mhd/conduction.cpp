@@ -1,0 +1,176 @@
+#include <algorithm>
+#include <cmath>
+
+#include "mhd/ops.hpp"
+#include "solvers/pcg.hpp"
+#include "solvers/sts.hpp"
+
+namespace simas::mhd {
+
+using par::SiteKind;
+
+// Implicit Spitzer thermal conduction. The energy equation contribution is
+//   ρ/(γ-1) ∂T/∂t = ∇·(κ(T) ∇T),   κ(T) = κ0 T^{5/2},
+// discretized in flux form with κ frozen at the step start (Picard
+// linearization, standard practice in MAS-class codes). The system
+//   (ρ/(γ-1) - dt ∇·κ∇) T = ρ/(γ-1) T*
+// is SPD in the volume-weighted inner product; we solve it with
+// Jacobi-preconditioned CG, or advance explicitly with RKL2 super
+// time-stepping when configured (paper ref [25] compares the approaches).
+int conduction_update(MhdContext& c, real dt) {
+  State& st = c.st;
+  const grid::LocalGrid& lg = c.lg;
+  const PhysicsConfig& ph = c.phys;
+  if (ph.kappa0 <= 0.0) return 0;
+  const real gm1 = ph.gamma - 1.0;
+  const real kappa0 = ph.kappa0;
+  const idx nloc = st.nloc, nt = st.nt, np = st.np;
+  const par::Range3 interior{0, nloc, 0, nt, 0, np};
+  const real dph = lg.dph();
+
+  static const par::KernelSite& site_kap =
+      SIMAS_SITE("cond_face_kappa_setup", SiteKind::ParallelLoop, 0);
+  static const par::KernelSite& site_mv =
+      SIMAS_SITE("cond_matvec", SiteKind::ParallelLoop, 0);
+  static const par::KernelSite& site_pc =
+      SIMAS_SITE("cond_jacobi_precond", SiteKind::ParallelLoop, 0);
+  static const par::KernelSite& site_rhs =
+      SIMAS_SITE("cond_build_rhs", SiteKind::ParallelLoop, 52);
+
+  // Frozen κ(T*) at cell centers, stored in wrk2 (ghosts via exchange).
+  c.eng.for_each(site_kap, interior,
+                 {par::in(st.temp.id()), par::out(st.wrk2.id())},
+                 [&, kappa0](idx i, idx j, idx k) {
+                   const real t = std::max<real>(st.temp(i, j, k), 1.0e-12);
+                   st.wrk2(i, j, k) = kappa0 * t * t * std::sqrt(t);
+                 });
+  c.halo.exchange_r({&st.wrk2});
+  c.halo.wrap_phi({&st.wrk2});
+
+  // Diffusion operator L(x) = ∇·(κ ∇x) in flux form (zero-flux physical
+  // boundaries; face κ by arithmetic mean). Shared by PCG and STS paths.
+  auto diffusion = [&](field::Field& x, field::Field& y) {
+    c.halo.exchange_r({&x});
+    c.halo.wrap_phi({&x});
+    c.eng.for_each(
+        site_mv, interior,
+        {par::in(x.id()), par::in(st.wrk2.id()), par::out(y.id())},
+        [&, nloc, nt, dph](idx i, idx j, idx k) {
+          const real ctj0 = std::cos(lg.tf(j)), ctj1 = std::cos(lg.tf(j + 1));
+          const real vol =
+              (std::pow(lg.rf(i + 1), 3) - std::pow(lg.rf(i), 3)) / 3.0 *
+              (ctj0 - ctj1) * dph;
+          const real alin = (sq(lg.rf(i + 1)) - sq(lg.rf(i))) / 2.0;
+          const real xc = x(i, j, k);
+          const real kc = st.wrk2(i, j, k);
+          real flux = 0.0;
+          if (!(lg.at_inner_boundary() && i == 0)) {
+            const real kf = 0.5 * (kc + st.wrk2(i - 1, j, k));
+            flux -= sq(lg.rf(i)) * (ctj0 - ctj1) * dph * kf *
+                    (xc - x(i - 1, j, k)) / lg.drf(i);
+          }
+          if (!(lg.at_outer_boundary() && i == nloc - 1)) {
+            const real kf = 0.5 * (kc + st.wrk2(i + 1, j, k));
+            flux += sq(lg.rf(i + 1)) * (ctj0 - ctj1) * dph * kf *
+                    (x(i + 1, j, k) - xc) / lg.drf(i + 1);
+          }
+          if (j > 0) {
+            const real kf = 0.5 * (kc + st.wrk2(i, j - 1, k));
+            flux -= alin * lg.stf(j) * dph * kf * (xc - x(i, j - 1, k)) /
+                    (lg.rc(i) * lg.dtf(j));
+          }
+          if (j < nt - 1) {
+            const real kf = 0.5 * (kc + st.wrk2(i, j + 1, k));
+            flux += alin * lg.stf(j + 1) * dph * kf *
+                    (x(i, j + 1, k) - xc) / (lg.rc(i) * lg.dtf(j + 1));
+          }
+          {
+            const real ap = alin * lg.dtc(j) / (lg.rc(i) * lg.stc(j) * dph);
+            const real kf0 = 0.5 * (kc + st.wrk2(i, j, k - 1));
+            const real kf1 = 0.5 * (kc + st.wrk2(i, j, k + 1));
+            flux += ap * (kf1 * (x(i, j, k + 1) - xc) -
+                          kf0 * (xc - x(i, j, k - 1)));
+          }
+          y(i, j, k) = flux / vol;
+        });
+  };
+
+  if (ph.sts_conduction) {
+    // Explicit super-time-stepping: dT/dt = (γ-1)/ρ L(T).
+    auto rhs = [&](field::Field& x, field::Field& y) {
+      diffusion(x, y);
+      static const par::KernelSite& site_scale =
+          SIMAS_SITE("cond_sts_scale", SiteKind::ParallelLoop, 0);
+      c.eng.for_each(site_scale, interior,
+                     {par::in(st.rho.id()), par::in(y.id()), par::out(y.id())},
+                     [&, gm1](idx i, idx j, idx k) {
+                       y(i, j, k) *= gm1 /
+                                     std::max<real>(st.rho(i, j, k), 1.0e-12);
+                     });
+    };
+    solvers::rkl2_advance(c.eng, rhs, st.temp, st.pcg_r, st.pcg_p, st.pcg_ap,
+                          st.pcg_z, st.wrk3, dt, ph.sts_stages,
+                          par::Range3{0, nloc, 0, nt, 0, np});
+    return ph.sts_stages;
+  }
+
+  // PCG path: A(x) = ρ/(γ-1) x - dt L(x); RHS = ρ/(γ-1) T*.
+  auto apply = [&](const solvers::Pcg::Fields& xs,
+                   const solvers::Pcg::Fields& ys) {
+    field::Field& x = *xs[0];
+    field::Field& y = *ys[0];
+    diffusion(x, y);
+    static const par::KernelSite& site_shift =
+        SIMAS_SITE("cond_matvec_shift", SiteKind::ParallelLoop, 0);
+    c.eng.for_each(site_shift, interior,
+                   {par::in(st.rho.id()), par::in(x.id()), par::in(y.id()),
+                    par::out(y.id())},
+                   [&, dt, gm1](idx i, idx j, idx k) {
+                     y(i, j, k) = st.rho(i, j, k) / gm1 * x(i, j, k) -
+                                  dt * y(i, j, k);
+                   });
+  };
+
+  auto precond = [&](const solvers::Pcg::Fields& rs,
+                     const solvers::Pcg::Fields& zs) {
+    const field::Field& r = *rs[0];
+    field::Field& z = *zs[0];
+    c.eng.for_each(site_pc, interior,
+                   {par::in(r.id()), par::in(st.rho.id()),
+                    par::in(st.wrk2.id()), par::out(z.id())},
+                   [&, dt, gm1](idx i, idx j, idx k) {
+                     // Cheap diagonal estimate: mass term plus the κ-scaled
+                     // stencil magnitude.
+                     const real h = std::min(
+                         lg.drc(i),
+                         std::min(lg.rc(i) * lg.dtc(j),
+                                  lg.rc(i) * lg.stc(j) * lg.dph()));
+                     const real diag = st.rho(i, j, k) / gm1 +
+                                       dt * 6.0 * st.wrk2(i, j, k) / sq(h);
+                     z(i, j, k) = r(i, j, k) / diag;
+                   });
+  };
+
+  // RHS into wrk1 (the temperature itself is the initial guess).
+  c.eng.for_each(site_rhs, interior,
+                 {par::in(st.temp.id()), par::in(st.rho.id()),
+                  par::out(st.wrk1.id())},
+                 [&, gm1](idx i, idx j, idx k) {
+                   st.wrk1(i, j, k) =
+                       st.rho(i, j, k) / gm1 * st.temp(i, j, k);
+                 });
+
+  solvers::Pcg pcg(c.eng, c.comm, lg);
+  solvers::PcgSystem sys;
+  sys.x = {&st.temp};
+  sys.b = {&st.wrk1};
+  sys.r = st.pcg_r_vec(1);
+  sys.p = st.pcg_p_vec(1);
+  sys.ap = st.pcg_ap_vec(1);
+  sys.z = st.pcg_z_vec(1);
+  solvers::PcgOptions opts{ph.cond_tol, ph.cond_maxit};
+  const auto res = pcg.solve(apply, precond, sys, opts);
+  return res.converged ? res.iterations : -1;
+}
+
+}  // namespace simas::mhd

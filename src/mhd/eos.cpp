@@ -1,0 +1,14 @@
+#include "mhd/eos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simas::mhd {
+
+real fast_speed(real gamma, real temp, real b2, real rho) {
+  const real r = std::max<real>(rho, 1.0e-12);
+  const real t = std::max<real>(temp, 0.0);
+  return std::sqrt(sound_speed2(gamma, t) + alfven_speed2(std::max<real>(b2, 0.0), r));
+}
+
+}  // namespace simas::mhd

@@ -1,0 +1,20 @@
+#pragma once
+// Equation-of-state helpers (normalized ideal gas, p = ρT).
+
+#include "util/types.hpp"
+
+namespace simas::mhd {
+
+inline real pressure(real rho, real temp) { return rho * temp; }
+
+/// Adiabatic sound speed squared.
+inline real sound_speed2(real gamma, real temp) { return gamma * temp; }
+
+/// Alfvén speed squared from the field magnitude squared.
+inline real alfven_speed2(real b2, real rho) { return b2 / rho; }
+
+/// Fast magnetosonic speed bound (cs² + vA² overestimate, as used in the
+/// CFL computation).
+real fast_speed(real gamma, real temp, real b2, real rho);
+
+}  // namespace simas::mhd

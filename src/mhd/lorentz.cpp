@@ -1,0 +1,103 @@
+#include <algorithm>
+#include <cmath>
+
+#include "mhd/ops.hpp"
+
+namespace simas::mhd {
+
+using par::SiteKind;
+
+void compute_center_b(MhdContext& c) {
+  State& st = c.st;
+  static const par::KernelSite& site =
+      SIMAS_SITE("b_face_to_center", SiteKind::ParallelLoop, 21);
+  c.eng.for_each(
+      site, par::Range3{0, st.nloc, 0, st.nt, 0, st.np},
+      {par::in(st.br.id()), par::in(st.bt.id()), par::in(st.bp.id()),
+       par::out(st.bcr.id()), par::out(st.bct.id()), par::out(st.bcp.id())},
+      [&](idx i, idx j, idx k) {
+        st.bcr(i, j, k) = 0.5 * (st.br(i, j, k) + st.br(i + 1, j, k));
+        st.bct(i, j, k) = 0.5 * (st.bt(i, j, k) + st.bt(i, j + 1, k));
+        // φ-face k+1 wraps to face 0: use the wrapped ghost.
+        st.bcp(i, j, k) = 0.5 * (st.bp(i, j, k) + st.bp(i, j, k + 1));
+      });
+}
+
+// Edge currents J = curl B evaluated at the natural edge locations of the
+// staggered mesh (finite differences of the face fields). Results land in
+// the EMF work arrays er/et/ep, later averaged to centers for the Lorentz
+// force.
+void compute_edge_current(MhdContext& c) {
+  State& st = c.st;
+  const grid::LocalGrid& lg = c.lg;
+  const idx nloc = st.nloc, nt = st.nt, np = st.np;
+
+  static const par::KernelSite& site_r =
+      SIMAS_SITE("edge_current_r", SiteKind::ParallelLoop, 22);
+  static const par::KernelSite& site_t =
+      SIMAS_SITE("edge_current_t", SiteKind::ParallelLoop, 22);
+  static const par::KernelSite& site_p =
+      SIMAS_SITE("edge_current_p", SiteKind::ParallelLoop, 22);
+
+  // J_r at r-edges (r-center, θ-face, φ-face); j = 0..nt, k = 0..np-1.
+  c.eng.for_each(
+      site_r, par::Range3{0, nloc, 0, nt + 1, 0, np},
+      {par::in(st.bt.id()), par::in(st.bp.id()), par::out(st.er.id())},
+      [&](idx i, idx j, idx k) {
+        const real r = lg.rc(i);
+        const real stf = std::max<real>(lg.stf(j), 1.0e-12);
+        st.er(i, j, k) =
+            (lg.stc(j) * st.bp(i, j, k) -
+             lg.stc(j - 1) * st.bp(i, j - 1, k)) /
+                (r * stf * lg.dtf(j)) -
+            (st.bt(i, j, k) - st.bt(i, j, k - 1)) / (r * stf * lg.dph());
+      });
+
+  // J_θ at θ-edges (r-face, θ-center, φ-face); i = 0..nloc.
+  c.eng.for_each(
+      site_t, par::Range3{0, nloc + 1, 0, nt, 0, np},
+      {par::in(st.br.id()), par::in(st.bp.id()), par::out(st.et.id())},
+      [&](idx i, idx j, idx k) {
+        const real rf = lg.rf(i);
+        st.et(i, j, k) =
+            (st.br(i, j, k) - st.br(i, j, k - 1)) /
+                (rf * lg.stc(j) * lg.dph()) -
+            (lg.rc(i) * st.bp(i, j, k) - lg.rc(i - 1) * st.bp(i - 1, j, k)) /
+                (rf * lg.drf(i));
+      });
+
+  // J_φ at φ-edges (r-face, θ-face, φ-center); i = 0..nloc, j = 0..nt.
+  c.eng.for_each(
+      site_p, par::Range3{0, nloc + 1, 0, nt + 1, 0, np},
+      {par::in(st.br.id()), par::in(st.bt.id()), par::out(st.ep.id())},
+      [&](idx i, idx j, idx k) {
+        const real rf = lg.rf(i);
+        st.ep(i, j, k) =
+            (lg.rc(i) * st.bt(i, j, k) - lg.rc(i - 1) * st.bt(i - 1, j, k)) /
+                (rf * lg.drf(i)) -
+            (st.br(i, j, k) - st.br(i, j - 1, k)) / (rf * lg.dtf(j));
+      });
+
+  // k+1 edge values are needed when averaging to centers.
+  c.halo.wrap_phi({&st.er, &st.et});
+}
+
+void average_j_to_center(MhdContext& c) {
+  State& st = c.st;
+  static const par::KernelSite& site =
+      SIMAS_SITE("j_edge_to_center", SiteKind::ParallelLoop, 23);
+  c.eng.for_each(
+      site, par::Range3{0, st.nloc, 0, st.nt, 0, st.np},
+      {par::in(st.er.id()), par::in(st.et.id()), par::in(st.ep.id()),
+       par::out(st.jcr.id()), par::out(st.jct.id()), par::out(st.jcp.id())},
+      [&](idx i, idx j, idx k) {
+        st.jcr(i, j, k) = 0.25 * (st.er(i, j, k) + st.er(i, j + 1, k) +
+                                  st.er(i, j, k + 1) + st.er(i, j + 1, k + 1));
+        st.jct(i, j, k) = 0.25 * (st.et(i, j, k) + st.et(i + 1, j, k) +
+                                  st.et(i, j, k + 1) + st.et(i + 1, j, k + 1));
+        st.jcp(i, j, k) = 0.25 * (st.ep(i, j, k) + st.ep(i + 1, j, k) +
+                                  st.ep(i, j + 1, k) + st.ep(i + 1, j + 1, k));
+      });
+}
+
+}  // namespace simas::mhd

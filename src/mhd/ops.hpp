@@ -1,0 +1,94 @@
+#pragma once
+// Physics operators of the MAS-analog solver. Each function emits the same
+// class of kernel/communication stream the corresponding MAS stage emits;
+// all loops go through the rank's Engine so every code version accounts
+// them per its execution model.
+
+#include <vector>
+
+#include "grid/local_grid.hpp"
+#include "mhd/config.hpp"
+#include "mhd/state.hpp"
+#include "mpisim/comm.hpp"
+#include "mpisim/halo.hpp"
+
+namespace simas::mhd {
+
+struct MhdContext {
+  par::Engine& eng;
+  mpisim::Comm& comm;
+  mpisim::HaloExchanger& halo;
+  const grid::LocalGrid& lg;
+  const PhysicsConfig& phys;
+  State& st;
+};
+
+// --- boundary.cpp -----------------------------------------------------
+/// Fill ghost layers of the cell-centered fields: rank halos (r),
+/// periodic wrap (φ), physical boundaries (r walls, θ walls).
+void exchange_center_ghosts(MhdContext& c);
+/// Physical-boundary ghosts only (no communication).
+void apply_center_bcs(MhdContext& c);
+/// Ghosts for the face-B fields (exchange + wrap + walls).
+void apply_b_ghosts(MhdContext& c);
+
+// --- cfl.cpp ----------------------------------------------------------
+/// Globally synchronized explicit stable time step (fast-mode + resistive).
+real cfl_timestep(MhdContext& c);
+
+// --- lorentz.cpp -------------------------------------------------------
+/// Interpolate face B to centers (bcr, bct, bcp).
+void compute_center_b(MhdContext& c);
+/// J on edges (stored in er, et, ep) from face B.
+void compute_edge_current(MhdContext& c);
+/// Average edge J to centers (jcr, jct, jcp). Requires edge J in er/et/ep
+/// with φ ghosts wrapped.
+void average_j_to_center(MhdContext& c);
+
+// --- advection.cpp ----------------------------------------------------
+/// Upwind advection plus pressure gradient, gravity, and Lorentz force.
+/// Produces predictor values in wrk1..wrk5 and copies them back.
+void advect_and_forces(MhdContext& c, real dt);
+
+// --- resistive.cpp ----------------------------------------------------
+/// Constrained-transport update of face B with E = -v x B + η J.
+/// Preserves div B = 0 to round-off.
+void ct_update(MhdContext& c, real dt);
+
+// --- viscosity.cpp ----------------------------------------------------
+/// Implicit viscous update (I - dt ν ∇²) v = v*, one PCG solve per
+/// component. Returns total PCG iterations (the Fig. 4 "viscosity solver"
+/// workload). Negative on non-convergence.
+int viscous_update(MhdContext& c, real dt);
+
+// --- conduction.cpp ---------------------------------------------------
+/// Implicit Spitzer conduction (ρ/(γ-1) - dt ∇·κ(T)∇) T = ρ/(γ-1) T*,
+/// PCG; or RKL2 super-time-stepping when phys.sts_conduction is set.
+/// Returns iterations (PCG) or stages (STS).
+int conduction_update(MhdContext& c, real dt);
+
+// --- source_terms.cpp -------------------------------------------------
+/// Semi-implicit pointwise radiative-loss + coronal-heating update.
+void radiation_heating(MhdContext& c, real dt);
+
+// --- diagnostics.cpp --------------------------------------------------
+/// Mean temperature per local radial shell (array-reduction kernel class,
+/// paper Listings 3-5). `out` is resized to nloc.
+void shell_mean_temperature(MhdContext& c, std::vector<real>& out);
+
+struct GlobalDiagnostics {
+  real total_mass = 0.0;
+  real kinetic_energy = 0.0;
+  real magnetic_energy = 0.0;
+  real thermal_energy = 0.0;
+  real max_div_b = 0.0;   ///< max |div B| (should stay at round-off)
+  real max_speed = 0.0;
+};
+/// Globally reduced diagnostics (several scalar-reduction kernels).
+GlobalDiagnostics global_diagnostics(MhdContext& c);
+
+/// Discrete div B at one interior cell (host-side; tests/diagnostics).
+real div_b_cell(const grid::LocalGrid& lg, const State& st, idx i, idx j,
+                idx k);
+
+}  // namespace simas::mhd

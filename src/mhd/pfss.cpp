@@ -1,0 +1,203 @@
+#include "mhd/pfss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "solvers/pcg.hpp"
+
+namespace simas::mhd {
+
+using par::SiteKind;
+
+SurfaceBrFn dipole_surface_br(real b0) {
+  return [b0](real theta, real /*phi*/) { return 2.0 * b0 * std::cos(theta); };
+}
+
+// Laplacian with the PFSS boundary conditions:
+//  * inner r face: Neumann (flux prescribed; handled through the RHS, so
+//    the operator itself sees a zero-flux wall there);
+//  * outer r face: homogeneous Dirichlet (source surface Φ = 0), realised
+//    as a half-cell gradient to the face;
+//  * θ walls: zero-flux; φ: periodic (halo wrap).
+namespace {
+
+struct PfssOperator {
+  MhdContext& c;
+
+  void operator()(const solvers::Pcg::Fields& xs,
+                  const solvers::Pcg::Fields& ys) const {
+    field::Field& x = *xs[0];
+    field::Field& y = *ys[0];
+    const grid::LocalGrid& lg = c.lg;
+    State& st = c.st;
+    const idx nloc = st.nloc, nt = st.nt, np = st.np;
+    const real dph = lg.dph();
+
+    c.halo.exchange_r({&x});
+    c.halo.wrap_phi({&x});
+
+    static const par::KernelSite& site =
+        SIMAS_SITE("pfss_laplacian", SiteKind::ParallelLoop, 0);
+    c.eng.for_each(
+        site, par::Range3{0, nloc, 0, nt, 0, np},
+        {par::in(x.id()), par::out(y.id())},
+        [&, nloc, nt, dph](idx i, idx j, idx k) {
+          const real ctj0 = std::cos(lg.tf(j)), ctj1 = std::cos(lg.tf(j + 1));
+          const real vol =
+              (std::pow(lg.rf(i + 1), 3) - std::pow(lg.rf(i), 3)) / 3.0 *
+              (ctj0 - ctj1) * dph;
+          const real alin = (sq(lg.rf(i + 1)) - sq(lg.rf(i))) / 2.0;
+          const real xc = x(i, j, k);
+          real flux = 0.0;
+          if (!(lg.at_inner_boundary() && i == 0)) {
+            flux -= sq(lg.rf(i)) * (ctj0 - ctj1) * dph *
+                    (xc - x(i - 1, j, k)) / lg.drf(i);
+          }
+          if (lg.at_outer_boundary() && i == nloc - 1) {
+            // Dirichlet Φ = 0 at the source surface: half-cell gradient.
+            flux += sq(lg.rf(i + 1)) * (ctj0 - ctj1) * dph *
+                    (0.0 - xc) / (0.5 * lg.drc(i));
+          } else {
+            flux += sq(lg.rf(i + 1)) * (ctj0 - ctj1) * dph *
+                    (x(i + 1, j, k) - xc) / lg.drf(i + 1);
+          }
+          if (j > 0)
+            flux -= alin * lg.stf(j) * dph * (xc - x(i, j - 1, k)) /
+                    (lg.rc(i) * lg.dtf(j));
+          if (j < nt - 1)
+            flux += alin * lg.stf(j + 1) * dph * (x(i, j + 1, k) - xc) /
+                    (lg.rc(i) * lg.dtf(j + 1));
+          const real ap = alin * lg.dtc(j) / (lg.rc(i) * lg.stc(j) * dph);
+          flux += ap * (x(i, j, k + 1) - 2.0 * xc + x(i, j, k - 1));
+          // PCG solves A x = b with A = -∇·∇ (positive definite).
+          y(i, j, k) = -flux / vol;
+        });
+  }
+};
+
+}  // namespace
+
+PfssResult pfss_initialize(MhdContext& c, const SurfaceBrFn& surface_br,
+                           real tol, int maxit) {
+  State& st = c.st;
+  const grid::LocalGrid& lg = c.lg;
+  const idx nloc = st.nloc, nt = st.nt, np = st.np;
+  const real dph = lg.dph();
+
+  static const par::KernelSite& site_rhs =
+      SIMAS_SITE("pfss_build_rhs", SiteKind::ParallelLoop, 0);
+  static const par::KernelSite& site_pc =
+      SIMAS_SITE("pfss_jacobi_precond", SiteKind::ParallelLoop, 0);
+  static const par::KernelSite& site_grad_r =
+      SIMAS_SITE("pfss_gradient_r", SiteKind::ParallelLoop, 73);
+  static const par::KernelSite& site_grad_t =
+      SIMAS_SITE("pfss_gradient_t", SiteKind::ParallelLoop, 73);
+  static const par::KernelSite& site_grad_p =
+      SIMAS_SITE("pfss_gradient_p", SiteKind::ParallelLoop, 73);
+
+  // RHS: b = -∇·(prescribed boundary flux). Only inner-boundary cells get
+  // a contribution: A Φ = b with the Neumann flux moved to the RHS.
+  // Flux through the inner face = Br_surface * area (B = -∇Φ, so
+  // ∂Φ/∂r = -Br).
+  field::Field& phi = st.wrk4;
+  field::Field& rhs = st.wrk1;
+  c.eng.for_each(
+      site_rhs, par::Range3{0, nloc, 0, nt, 0, np},
+      {par::out(rhs.id()), par::out(phi.id())},
+      [&, dph](idx i, idx j, idx k) {
+        phi(i, j, k) = 0.0;
+        real b = 0.0;
+        if (lg.at_inner_boundary() && i == 0) {
+          const real ctj0 = std::cos(lg.tf(j)),
+                     ctj1 = std::cos(lg.tf(j + 1));
+          const real vol =
+              (std::pow(lg.rf(i + 1), 3) - std::pow(lg.rf(i), 3)) / 3.0 *
+              (ctj0 - ctj1) * dph;
+          const real area = sq(lg.rf(0)) * (ctj0 - ctj1) * dph;
+          const real br = surface_br(lg.tc(j), lg.global().ph_center(k));
+          // div B = 0 over the boundary cell: the interior fluxes (the
+          // operator, which omits the inner face) must balance the
+          // prescribed inner-face flux: -flux_op = A0 br  =>  b = +A0 br/V.
+          b = br * area / vol;
+        }
+        rhs(i, j, k) = b;
+      });
+
+  auto precond = [&](const solvers::Pcg::Fields& rs,
+                     const solvers::Pcg::Fields& zs) {
+    const field::Field& r = *rs[0];
+    field::Field& z = *zs[0];
+    c.eng.for_each(site_pc, par::Range3{0, nloc, 0, nt, 0, np},
+                   {par::in(r.id()), par::out(z.id())},
+                   [&](idx i, idx j, idx k) {
+                     const real h = std::min(
+                         lg.drc(i),
+                         std::min(lg.rc(i) * lg.dtc(j),
+                                  lg.rc(i) * lg.stc(j) * lg.dph()));
+                     z(i, j, k) = r(i, j, k) * sq(h) / 6.0;
+                   });
+  };
+
+  solvers::Pcg pcg(c.eng, c.comm, lg);
+  solvers::PcgSystem sys;
+  sys.x = {&phi};
+  sys.b = {&rhs};
+  sys.r = st.pcg_r_vec(1);
+  sys.p = st.pcg_p_vec(1);
+  sys.ap = st.pcg_ap_vec(1);
+  sys.z = st.pcg_z_vec(1);
+  const auto solve = pcg.solve(PfssOperator{c}, precond, sys,
+                               solvers::PcgOptions{tol, maxit});
+
+  // Refresh ghosts of Φ, then take B = -∇Φ on the faces.
+  c.halo.exchange_r({&phi});
+  c.halo.wrap_phi({&phi});
+
+  c.eng.for_each(site_grad_r, par::Range3{0, nloc + 1, 0, nt, 0, np},
+                 {par::in(phi.id()), par::out(st.br.id())},
+                 [&](idx i, idx j, idx k) {
+                   if (lg.at_inner_boundary() && i == 0) {
+                     st.br(i, j, k) =
+                         surface_br(lg.tc(j), lg.global().ph_center(k));
+                   } else if (lg.at_outer_boundary() && i == nloc) {
+                     st.br(i, j, k) =
+                         -(0.0 - phi(i - 1, j, k)) / (0.5 * lg.drc(i - 1));
+                   } else {
+                     st.br(i, j, k) =
+                         -(phi(i, j, k) - phi(i - 1, j, k)) / lg.drf(i);
+                   }
+                 });
+  c.eng.for_each(site_grad_t, par::Range3{0, nloc, 0, nt + 1, 0, np},
+                 {par::in(phi.id()), par::out(st.bt.id())},
+                 [&](idx i, idx j, idx k) {
+                   if (j == 0 || j == st.nt) {
+                     st.bt(i, j, k) = 0.0;  // zero-flux θ walls
+                   } else {
+                     st.bt(i, j, k) = -(phi(i, j, k) - phi(i, j - 1, k)) /
+                                      (lg.rc(i) * lg.dtf(j));
+                   }
+                 });
+  c.eng.for_each(site_grad_p, par::Range3{0, nloc, 0, nt, 0, np},
+                 {par::in(phi.id()), par::out(st.bp.id())},
+                 [&](idx i, idx j, idx k) {
+                   st.bp(i, j, k) = -(phi(i, j, k) - phi(i, j, k - 1)) /
+                                    (lg.rc(i) * lg.stc(j) * lg.dph());
+                 });
+
+  apply_b_ghosts(c);
+  compute_center_b(c);
+
+  PfssResult res;
+  res.iterations = solve.iterations;
+  res.converged = solve.converged;
+  real local_max = 0.0;
+  for (idx i = 0; i < nloc; ++i)
+    for (idx j = 0; j < nt; ++j)
+      for (idx k = 0; k < np; ++k)
+        local_max =
+            std::max(local_max, std::abs(div_b_cell(lg, st, i, j, k)));
+  res.max_div_b = c.comm.allreduce_max(local_max);
+  return res;
+}
+
+}  // namespace simas::mhd

@@ -1,0 +1,88 @@
+#include "mhd/state.hpp"
+
+#include <stdexcept>
+
+namespace simas::mhd {
+
+State::State(par::Engine& engine, const grid::LocalGrid& lg)
+    : nloc(lg.nloc()),
+      nt(lg.nt()),
+      np(lg.np()),
+      rho(engine, "rho", nloc, nt, np, 1),
+      temp(engine, "temp", nloc, nt, np, 1),
+      vr(engine, "vr", nloc, nt, np, 1),
+      vt(engine, "vt", nloc, nt, np, 1),
+      vp(engine, "vp", nloc, nt, np, 1),
+      br(engine, "br", nloc + 1, nt, np, 1),
+      bt(engine, "bt", nloc, nt + 1, np, 1),
+      bp(engine, "bp", nloc, nt, np, 1),
+      er(engine, "er", nloc, nt + 1, np, 1),
+      et(engine, "et", nloc + 1, nt, np, 1),
+      ep(engine, "ep", nloc + 1, nt + 1, np, 1),
+      wrk1(engine, "wrk1", nloc, nt, np, 1),
+      wrk2(engine, "wrk2", nloc, nt, np, 1),
+      wrk3(engine, "wrk3", nloc, nt, np, 1),
+      wrk4(engine, "wrk4", nloc, nt, np, 1),
+      wrk5(engine, "wrk5", nloc, nt, np, 1),
+      pcg_r(engine, "pcg_r", nloc, nt, np, 1),
+      pcg_p(engine, "pcg_p", nloc, nt, np, 1),
+      pcg_ap(engine, "pcg_ap", nloc, nt, np, 1),
+      pcg_z(engine, "pcg_z", nloc, nt, np, 1),
+      pcg_r2(engine, "pcg_r2", nloc, nt, np, 1),
+      pcg_p2(engine, "pcg_p2", nloc, nt, np, 1),
+      pcg_ap2(engine, "pcg_ap2", nloc, nt, np, 1),
+      pcg_z2(engine, "pcg_z2", nloc, nt, np, 1),
+      pcg_r3(engine, "pcg_r3", nloc, nt, np, 1),
+      pcg_p3(engine, "pcg_p3", nloc, nt, np, 1),
+      pcg_ap3(engine, "pcg_ap3", nloc, nt, np, 1),
+      pcg_z3(engine, "pcg_z3", nloc, nt, np, 1),
+      bcr(engine, "bcr", nloc, nt, np, 1),
+      bct(engine, "bct", nloc, nt, np, 1),
+      bcp(engine, "bcp", nloc, nt, np, 1),
+      jcr(engine, "jcr", nloc, nt, np, 1),
+      jct(engine, "jct", nloc, nt, np, 1),
+      jcp(engine, "jcp", nloc, nt, np, 1) {}
+
+namespace {
+std::vector<field::Field*> take(std::vector<field::Field*> all, int n) {
+  if (n < 1 || n > static_cast<int>(all.size()))
+    throw std::invalid_argument("State: bad PCG component count");
+  all.resize(static_cast<std::size_t>(n));
+  return all;
+}
+}  // namespace
+
+std::vector<field::Field*> State::pcg_r_vec(int n) {
+  return take({&pcg_r, &pcg_r2, &pcg_r3}, n);
+}
+std::vector<field::Field*> State::pcg_p_vec(int n) {
+  return take({&pcg_p, &pcg_p2, &pcg_p3}, n);
+}
+std::vector<field::Field*> State::pcg_ap_vec(int n) {
+  return take({&pcg_ap, &pcg_ap2, &pcg_ap3}, n);
+}
+std::vector<field::Field*> State::pcg_z_vec(int n) {
+  return take({&pcg_z, &pcg_z2, &pcg_z3}, n);
+}
+
+void State::enter_device_data() {
+  for (field::Field* f :
+       {&rho, &temp, &vr, &vt, &vp, &br, &bt, &bp, &er, &et, &ep, &wrk1,
+        &wrk2, &wrk3, &wrk4, &wrk5, &pcg_r, &pcg_p, &pcg_ap, &pcg_z,
+        &pcg_r2, &pcg_p2, &pcg_ap2, &pcg_z2, &pcg_r3, &pcg_p3, &pcg_ap3,
+        &pcg_z3, &bcr, &bct, &bcp, &jcr, &jct, &jcp}) {
+    f->enter_data();
+  }
+}
+
+void State::exit_device_data() {
+  for (field::Field* f :
+       {&rho, &temp, &vr, &vt, &vp, &br, &bt, &bp, &er, &et, &ep, &wrk1,
+        &wrk2, &wrk3, &wrk4, &wrk5, &pcg_r, &pcg_p, &pcg_ap, &pcg_z,
+        &pcg_r2, &pcg_p2, &pcg_ap2, &pcg_z2, &pcg_r3, &pcg_p3, &pcg_ap3,
+        &pcg_z3, &bcr, &bct, &bcp, &jcr, &jct, &jcp}) {
+    f->exit_data();
+  }
+}
+
+}  // namespace simas::mhd

@@ -1,0 +1,68 @@
+#pragma once
+// MHD state for one rank: primitive fields on the staggered local grid,
+// plus persistent work arrays. Field dims follow the staggering described
+// in grid/spherical_grid.hpp; every array has one ghost layer.
+
+#include <memory>
+#include <vector>
+
+#include "field/field.hpp"
+#include "grid/local_grid.hpp"
+#include "mhd/config.hpp"
+#include "par/engine.hpp"
+
+namespace simas::mhd {
+
+struct State {
+  State(par::Engine& engine, const grid::LocalGrid& lg);
+
+  /// Issue manual enter_data for all persistent fields (no-op under
+  /// unified/host memory). Mirrors the OpenACC data region that wraps the
+  /// MAS compute phase.
+  void enter_device_data();
+  void exit_device_data();
+
+  idx nloc, nt, np;
+
+  // Primitive fields at cell centers.
+  field::Field rho, temp;
+  field::Field vr, vt, vp;
+
+  // Face-centered magnetic field (constrained transport).
+  field::Field br;  ///< (nloc+1, nt, np) r-faces
+  field::Field bt;  ///< (nloc, nt+1, np) θ-faces
+  field::Field bp;  ///< (nloc, nt, np) φ-faces (face k at φ_f(k); periodic)
+
+  // Edge-centered EMF work arrays (also used for J).
+  field::Field er;  ///< (nloc, nt+1, np) r-edges
+  field::Field et;  ///< (nloc+1, nt, np) θ-edges
+  field::Field ep;  ///< (nloc+1, nt+1, np) φ-edges
+
+  // Scratch fields for predictor values and implicit solves.
+  field::Field wrk1, wrk2, wrk3, wrk4, wrk5;  // center-sized scratch
+  // PCG workspace, one set per solved component (MAS's viscosity solve is
+  // a single 3-component vector system).
+  field::Field pcg_r, pcg_p, pcg_ap, pcg_z;      // component 0
+  field::Field pcg_r2, pcg_p2, pcg_ap2, pcg_z2;  // component 1
+  field::Field pcg_r3, pcg_p3, pcg_ap3, pcg_z3;  // component 2
+
+  // Center-interpolated B and J (recomputed each step).
+  field::Field bcr, bct, bcp;
+  field::Field jcr, jct, jcp;
+
+  std::vector<field::Field*> center_fields() {
+    return {&rho, &temp, &vr, &vt, &vp};
+  }
+  std::vector<field::Field*> velocity_fields() { return {&vr, &vt, &vp}; }
+  std::vector<field::Field*> face_b_fields() { return {&br, &bt, &bp}; }
+  std::vector<field::Field*> all_persistent() {
+    return {&rho, &temp, &vr, &vt, &vp, &br, &bt, &bp};
+  }
+  /// First `n` components of each PCG workspace vector.
+  std::vector<field::Field*> pcg_r_vec(int n);
+  std::vector<field::Field*> pcg_p_vec(int n);
+  std::vector<field::Field*> pcg_ap_vec(int n);
+  std::vector<field::Field*> pcg_z_vec(int n);
+};
+
+}  // namespace simas::mhd

@@ -1,0 +1,137 @@
+#include <algorithm>
+#include <cmath>
+
+#include "mhd/ops.hpp"
+#include "solvers/pcg.hpp"
+
+namespace simas::mhd {
+
+using par::SiteKind;
+
+namespace {
+
+// Flux-form scalar Laplacian coefficients at a cell, shared by the matvec
+// and the Jacobi preconditioner. Physical boundaries are zero-flux (the
+// face coefficient vanishes); rank boundaries and the periodic φ direction
+// read exchanged ghosts.
+struct LapCoeffs {
+  real cr0 = 0.0, cr1 = 0.0;  // A_face / (d_center * V) for i∓1/2 faces
+  real ct0 = 0.0, ct1 = 0.0;
+  real cp = 0.0;
+};
+
+LapCoeffs lap_coeffs(const grid::LocalGrid& lg, idx i, idx j, idx nloc,
+                     idx nt) {
+  const real dph = lg.dph();
+  const real ctj0 = std::cos(lg.tf(j)), ctj1 = std::cos(lg.tf(j + 1));
+  const real vol = (std::pow(lg.rf(i + 1), 3) - std::pow(lg.rf(i), 3)) / 3.0 *
+                   (ctj0 - ctj1) * dph;
+  const real alin = (sq(lg.rf(i + 1)) - sq(lg.rf(i))) / 2.0;
+
+  LapCoeffs cf;
+  const bool inner = lg.at_inner_boundary() && i == 0;
+  const bool outer = lg.at_outer_boundary() && i == nloc - 1;
+  if (!inner)
+    cf.cr0 = sq(lg.rf(i)) * (ctj0 - ctj1) * dph / (lg.drf(i) * vol);
+  if (!outer)
+    cf.cr1 = sq(lg.rf(i + 1)) * (ctj0 - ctj1) * dph / (lg.drf(i + 1) * vol);
+  if (j > 0)
+    cf.ct0 = alin * lg.stf(j) * dph / (lg.rc(i) * lg.dtf(j) * vol);
+  if (j < nt - 1)
+    cf.ct1 = alin * lg.stf(j + 1) * dph / (lg.rc(i) * lg.dtf(j + 1) * vol);
+  cf.cp = alin * lg.dtc(j) / (lg.rc(i) * lg.stc(j) * dph * vol);
+  return cf;
+}
+
+}  // namespace
+
+// Implicit viscous update: solve the single 3-component vector system
+//   (I - dt ν ∇²) v = v*
+// with Jacobi-preconditioned CG: one fused halo exchange and one global
+// reduction per iteration for all components, exactly the viscosity-solver
+// communication pattern the paper's Fig. 4 profiles.
+int viscous_update(MhdContext& c, real dt) {
+  State& st = c.st;
+  const grid::LocalGrid& lg = c.lg;
+  const real nu = c.phys.nu;
+  if (nu <= 0.0) return 0;
+  const idx nloc = st.nloc, nt = st.nt, np = st.np;
+  const par::Range3 interior{0, nloc, 0, nt, 0, np};
+
+  static const par::KernelSite& site_mv =
+      SIMAS_SITE("visc_matvec", SiteKind::ParallelLoop, 0,
+                 /*calls_routine=*/true);
+  static const par::KernelSite& site_pc =
+      SIMAS_SITE("visc_jacobi_precond", SiteKind::ParallelLoop, 0,
+                 /*calls_routine=*/true);
+  static const par::KernelSite& site_rhs =
+      SIMAS_SITE("visc_build_rhs", SiteKind::ParallelLoop, 52);
+
+  solvers::Pcg pcg(c.eng, c.comm, lg);
+
+  auto apply = [&](const solvers::Pcg::Fields& x,
+                   const solvers::Pcg::Fields& y) {
+    c.halo.exchange_r(x);
+    c.halo.wrap_phi(x);
+    for (std::size_t comp = 0; comp < x.size(); ++comp) {
+      field::Field& xf = *x[comp];
+      field::Field& yf = *y[comp];
+      c.eng.for_each(site_mv, interior,
+                     {par::in(xf.id()), par::out(yf.id())},
+                     [&, dt, nu, nloc, nt](idx i, idx j, idx k) {
+                       const LapCoeffs cf = lap_coeffs(lg, i, j, nloc, nt);
+                       const real xc = xf(i, j, k);
+                       const real lap =
+                           cf.cr1 * (xf(i + 1, j, k) - xc) -
+                           cf.cr0 * (xc - xf(i - 1, j, k)) +
+                           cf.ct1 * (xf(i, j + 1, k) - xc) -
+                           cf.ct0 * (xc - xf(i, j - 1, k)) +
+                           cf.cp * (xf(i, j, k + 1) - 2.0 * xc +
+                                    xf(i, j, k - 1));
+                       yf(i, j, k) = xc - dt * nu * lap;
+                     });
+    }
+  };
+
+  auto precond = [&](const solvers::Pcg::Fields& r,
+                     const solvers::Pcg::Fields& z) {
+    for (std::size_t comp = 0; comp < r.size(); ++comp) {
+      const field::Field& rf = *r[comp];
+      field::Field& zf = *z[comp];
+      c.eng.for_each(site_pc, interior,
+                     {par::in(rf.id()), par::out(zf.id())},
+                     [&, dt, nu, nloc, nt](idx i, idx j, idx k) {
+                       const LapCoeffs cf = lap_coeffs(lg, i, j, nloc, nt);
+                       const real diag =
+                           1.0 + dt * nu *
+                                     (cf.cr0 + cf.cr1 + cf.ct0 + cf.ct1 +
+                                      2.0 * cf.cp);
+                       zf(i, j, k) = rf(i, j, k) / diag;
+                     });
+    }
+  };
+
+  // RHS = v* (current velocities); they also serve as the initial guess.
+  std::vector<field::Field*> rhs{&st.wrk1, &st.wrk2, &st.wrk3};
+  std::vector<field::Field*> unknowns = st.velocity_fields();
+  for (std::size_t comp = 0; comp < unknowns.size(); ++comp) {
+    field::Field& u = *unknowns[comp];
+    field::Field& b = *rhs[comp];
+    c.eng.for_each(site_rhs, interior, {par::in(u.id()), par::out(b.id())},
+                   [&](idx i, idx j, idx k) { b(i, j, k) = u(i, j, k); });
+  }
+
+  solvers::PcgSystem sys;
+  sys.x = unknowns;
+  sys.b = rhs;
+  sys.r = st.pcg_r_vec(3);
+  sys.p = st.pcg_p_vec(3);
+  sys.ap = st.pcg_ap_vec(3);
+  sys.z = st.pcg_z_vec(3);
+
+  solvers::PcgOptions opts{c.phys.visc_tol, c.phys.visc_maxit};
+  const auto res = pcg.solve(apply, precond, sys, opts);
+  return res.converged ? res.iterations : -1;
+}
+
+}  // namespace simas::mhd

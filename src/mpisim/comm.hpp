@@ -1,0 +1,119 @@
+#pragma once
+// In-process MPI simulator.
+//
+// A World owns shared mailboxes and collective state for `nranks` ranks;
+// World::run spawns one thread per rank and executes the caller's rank
+// function. Messages are *really* passed between ranks (payloads are
+// copied), so decomposed solver runs are genuinely parallel and genuinely
+// exchange data — only the *transfer time* is modeled.
+//
+// Modeled-time semantics (per-rank ClockLedger):
+//  * send: the sender pays the transfer on its own clock (MPI category) and
+//    stamps the message with the modeled time at which it is available.
+//  * recv: the receiver waits (modeled) until the message is available; the
+//    wait interval is MPI "load imbalance" time — the paper's definition of
+//    MPI time includes exactly this.
+//  * transfer path depends on the sender's memory mode, reproducing the
+//    paper's Fig. 4 mechanism: manual + GPU -> NVLink peer-to-peer;
+//    unified + GPU -> device pages migrate to the host, the message crosses
+//    host memory, and the receiver's pages migrate back on next touch;
+//    CPU -> interconnect.
+//  * collectives synchronize every participant's clock to the max arrival
+//    plus a tree latency.
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "gpusim/memory_manager.hpp"
+#include "par/engine.hpp"
+#include "util/types.hpp"
+
+namespace simas::mpisim {
+
+struct Message {
+  std::vector<real> payload;
+  double available_at = 0.0;  ///< modeled time the data is ready at the dest
+  bool staged_through_host = false;  ///< UM path: receiver must page back in
+};
+
+class World;
+
+/// Per-rank communicator handle. Construct inside the rank function with the
+/// rank's Engine; not copyable, lives on the rank thread's stack.
+class Comm {
+ public:
+  Comm(World& world, int rank, par::Engine& engine);
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Buffered (non-blocking-buffer) send of `data`. `buf` is the registered
+  /// array backing the send buffer (drives the path decision and unified-
+  /// memory staging costs). Safe to call before the matching recv is posted.
+  void send(int dst, int tag, std::span<const real> data,
+            gpusim::ArrayId buf);
+
+  /// Blocking receive into `data` (sizes must match the sent payload).
+  void recv(int src, int tag, std::span<real> data, gpusim::ArrayId buf);
+
+  double allreduce_sum(double v);
+  double allreduce_max(double v);
+  void barrier();
+
+  par::Engine& engine() { return engine_; }
+
+ private:
+  double transfer_cost(i64 bytes, gpusim::ArrayId buf, int dst, bool& staged);
+
+  World& world_;
+  int rank_;
+  par::Engine& engine_;
+};
+
+class World {
+ public:
+  explicit World(int nranks);
+  ~World();
+
+  int nranks() const { return nranks_; }
+
+  /// Run fn(rank) on nranks threads (rank 0..nranks-1) and join them all.
+  /// Exceptions thrown by any rank are rethrown (first one wins).
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  friend class Comm;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::queue<Message>> queues;  // (src,tag)
+  };
+
+  struct Collective {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int arrived = 0;
+    u64 phase = 0;
+    std::vector<double> values;
+    std::vector<double> clocks;
+    double result = 0.0;
+    double sync_clock = 0.0;
+  };
+
+  /// op: true = max, false = sum (deterministic rank-order evaluation).
+  std::pair<double, double> collective(int rank, double value, double clock,
+                                       bool take_max, double latency);
+
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  Collective coll_;
+};
+
+}  // namespace simas::mpisim

@@ -1,0 +1,25 @@
+#include "mpisim/decomposition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace simas::mpisim {
+
+Slab radial_slab(idx nr, int nranks, int rank) {
+  if (nranks < 1 || rank < 0 || rank >= nranks)
+    throw std::invalid_argument("radial_slab: bad rank/nranks");
+  if (static_cast<idx>(nranks) > nr)
+    throw std::invalid_argument("radial_slab: more ranks than radial cells");
+  const idx base = nr / nranks;
+  const idx extra = nr % nranks;
+  // First `extra` ranks get one extra cell; slabs are contiguous.
+  const idx r = static_cast<idx>(rank);
+  Slab s;
+  s.ilo = r * base + std::min(r, extra);
+  s.ihi = s.ilo + base + (r < extra ? 1 : 0);
+  s.rank_below = rank > 0 ? rank - 1 : -1;
+  s.rank_above = rank + 1 < nranks ? rank + 1 : -1;
+  return s;
+}
+
+}  // namespace simas::mpisim

@@ -1,0 +1,23 @@
+#pragma once
+// Domain decomposition. MAS decomposes its spherical grid across MPI ranks;
+// we decompose in the radial (i) direction into slabs, which preserves the
+// halo-exchange structure (full (θ, φ) shells cross the interconnect every
+// stage) at the rank counts the paper evaluates (1..8).
+
+#include "util/types.hpp"
+
+namespace simas::mpisim {
+
+struct Slab {
+  idx ilo = 0;       ///< global index of first owned radial cell
+  idx ihi = 0;       ///< one past the last owned radial cell
+  int rank_below = -1;  ///< rank owning smaller r (-1: physical boundary)
+  int rank_above = -1;  ///< rank owning larger r
+  idx n() const { return ihi - ilo; }
+};
+
+/// Balanced contiguous slab for `rank` of `nranks` over nr cells.
+/// Throws if nranks exceeds nr (a rank would own zero cells).
+Slab radial_slab(idx nr, int nranks, int rank);
+
+}  // namespace simas::mpisim

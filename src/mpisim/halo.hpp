@@ -1,0 +1,56 @@
+#pragma once
+// Halo exchange for radially decomposed fields, plus the periodic φ wrap.
+//
+// Both operations move data through registered MPI buffers so the simulator
+// reproduces the paper's transfer-path behaviour:
+//   * manual memory: buffers are device-resident -> P2P (CUDA-aware MPI);
+//   * unified memory: the MPI layer touches the buffer from the host ->
+//     pages migrate device->host on send and host->device on unpack (the
+//     Fig. 4 slowdown mechanism).
+// The φ wrap is communicated even on a single rank (MAS exchanges periodic
+// boundaries through MPI), which is why the paper's Fig. 3 shows a
+// non-trivial "MPI" fraction even for 1-GPU runs.
+//
+// Pack/unpack kernels run under the MPI time category: the paper counts
+// "buffer initialization/loading/unloading" as MPI time.
+
+#include <vector>
+
+#include "field/field.hpp"
+#include "mpisim/comm.hpp"
+#include "mpisim/decomposition.hpp"
+
+namespace simas::mpisim {
+
+class HaloExchanger {
+ public:
+  /// `nloc` = owned radial cells on this rank; nt, np = full angular dims.
+  /// Fields passed to the exchange calls must have exactly these interior
+  /// dims (plus >= 1 ghost layer). `max_fields` bounds how many fields one
+  /// exchange can carry.
+  HaloExchanger(par::Engine& engine, Comm& comm, const Slab& slab, idx nloc,
+                idx nt, idx np, int max_fields = 12);
+
+  /// Exchange one radial ghost layer with both neighbours (if any).
+  void exchange_r(const std::vector<field::Field*>& fields);
+
+  /// Periodic wrap of one φ ghost layer (self-exchange through MPI).
+  void wrap_phi(const std::vector<field::Field*>& fields);
+
+  /// Logical bytes moved through MPI so far (run scale, sum of payloads).
+  i64 bytes_sent() const { return bytes_sent_; }
+
+ private:
+  par::Engine& engine_;
+  Comm& comm_;
+  Slab slab_;
+  idx nloc_, nt_, np_;
+  int max_fields_;
+  // One buffer per direction; layout (fastest..slowest) = (plane1, plane2,
+  // field). r-planes are (θ, φ); φ-planes are (r, θ).
+  field::Field send_lo_, send_hi_, recv_lo_, recv_hi_;
+  field::Field phi_buf_;
+  i64 bytes_sent_ = 0;
+};
+
+}  // namespace simas::mpisim

@@ -1,0 +1,141 @@
+#include "par/engine.hpp"
+
+#include <algorithm>
+
+namespace simas::par {
+
+const char* loop_model_name(LoopModel m) {
+  switch (m) {
+    case LoopModel::Acc: return "acc";
+    case LoopModel::Dc2018: return "dc2018";
+    case LoopModel::Dc2x: return "dc2x";
+  }
+  return "?";
+}
+
+Engine::Engine(EngineConfig cfg)
+    : cfg_(cfg),
+      cost_(cfg.device),
+      mem_(cfg.memory, &cost_, &ledger_),
+      pool_(cfg.host_threads) {
+  if (mem_.unified()) {
+    // Paging pressure costs some sustained bandwidth even once resident
+    // (observed as the modest non-MPI slowdown of the UM codes, Fig. 3).
+    cost_.set_unified_bw_penalty(0.82);
+  }
+  if (cfg_.gpu && cfg_.loops != LoopModel::Acc) {
+    // DC kernels get different compiler offload parameters than OpenACC
+    // regions (paper Sec. V-C).
+    cost_.set_dc_bw_penalty(0.985);
+  }
+}
+
+gpusim::ScaleClass Engine::kernel_scale(
+    const KernelSite& site, std::initializer_list<Access> acc) const {
+  if (site.surface_scaled) return gpusim::ScaleClass::Surface;
+  for (const Access& a : acc) {
+    if (mem_.record(a.id).scale == gpusim::ScaleClass::Surface)
+      return gpusim::ScaleClass::Surface;
+  }
+  return gpusim::ScaleClass::Volume;
+}
+
+void Engine::charge_launch_and_bytes(const KernelSite& site, i64 bytes,
+                                     gpusim::ScaleClass scale, bool fused,
+                                     bool async, double extra_traffic_factor) {
+  const bool unified = mem_.unified() && cfg_.gpu;
+  const double t0 = ledger_.now();
+  ledger_.advance(cost_.launch_time(fused, async, unified),
+                  gpusim::TimeCategory::LaunchGap);
+  const double traffic =
+      cost_.kernel_time(bytes, scale) *
+      extra_traffic_factor;
+  ledger_.advance(traffic, kernel_category_);
+  counters_.bytes_touched += bytes;
+  if (tracer_.enabled())
+    tracer_.record(t0, ledger_.now(), trace::Lane::Kernel, site.name);
+}
+
+void Engine::account_kernel(const KernelSite& site, idx cells,
+                            std::initializer_list<Access> acc) {
+  counters_.loops_executed++;
+  i64 bytes = 0;
+  for (const Access& a : acc) {
+    const i64 touched = std::min<i64>(cells * static_cast<i64>(sizeof(real)),
+                                      mem_.record(a.id).bytes);
+    bytes += touched;
+    if (cfg_.gpu)
+      mem_.on_device_access(a.id, touched, gpusim::TimeCategory::DataMotion);
+  }
+
+  // Kernel fusion: only the ACC model merges consecutive same-group loops.
+  bool fused = false;
+  if (cfg_.gpu && cfg_.loops == LoopModel::Acc && cfg_.fusion_enabled &&
+      site.fusion_group != 0 && site.fusion_group == last_fusion_group_) {
+    fused = true;
+    counters_.fused_launches++;
+  }
+  last_fusion_group_ = site.fusion_group;
+  if (!fused) counters_.kernel_launches++;
+
+  const bool async = cfg_.gpu && cfg_.loops == LoopModel::Acc &&
+                     cfg_.async_enabled && site.async_capable;
+  charge_launch_and_bytes(site, bytes, kernel_scale(site, acc), fused, async,
+                          1.0 + cfg_.wrapper_init_overhead);
+}
+
+void Engine::account_reduction(const KernelSite& site, idx cells,
+                               std::initializer_list<Access> acc) {
+  counters_.loops_executed++;
+  counters_.reduction_loops++;
+  counters_.kernel_launches++;
+  break_fusion();  // reductions synchronize; they never fuse
+  i64 bytes = 0;
+  for (const Access& a : acc) {
+    const i64 touched = std::min<i64>(cells * static_cast<i64>(sizeof(real)),
+                                      mem_.record(a.id).bytes);
+    bytes += touched;
+    if (cfg_.gpu)
+      mem_.on_device_access(a.id, touched, gpusim::TimeCategory::DataMotion);
+  }
+  // Reductions are synchronous under every model (the DC reduce clause and
+  // the OpenACC reduction clause both imply a result dependency).
+  charge_launch_and_bytes(site, bytes, kernel_scale(site, acc),
+                          /*fused=*/false, /*async=*/false, 1.0);
+}
+
+void Engine::account_array_reduction(const KernelSite& site, Range3 r,
+                                     std::initializer_list<Access> acc) {
+  counters_.loops_executed++;
+  counters_.reduction_loops++;
+  counters_.kernel_launches++;
+  break_fusion();
+  i64 bytes = 0;
+  for (const Access& a : acc) {
+    const i64 touched =
+        std::min<i64>(r.count() * static_cast<i64>(sizeof(real)),
+                      mem_.record(a.id).bytes);
+    bytes += touched;
+    if (cfg_.gpu)
+      mem_.on_device_access(a.id, touched, gpusim::TimeCategory::DataMotion);
+  }
+  // Atomic-update array reductions (ACC and DC+atomic, paper Listings 3/4)
+  // pay extra memory traffic for the read-modify-write contention; the
+  // flipped DC2X form (Listing 5) does not, but serializes the inner loop,
+  // which costs slightly more traffic on the inputs. Net: small penalty for
+  // the atomic form only.
+  const bool atomic_form = cfg_.gpu && cfg_.loops != LoopModel::Dc2x;
+  charge_launch_and_bytes(site, bytes, kernel_scale(site, acc),
+                          /*fused=*/false, /*async=*/false,
+                          atomic_form ? 1.35 : 1.0);
+}
+
+void Engine::device_sync() {
+  break_fusion();
+  // Draining the async queue costs one launch latency on the GPU.
+  if (cfg_.gpu)
+    ledger_.advance(cfg_.device.launch_overhead_s * 0.5,
+                    gpusim::TimeCategory::LaunchGap);
+}
+
+}  // namespace simas::par

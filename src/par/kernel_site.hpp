@@ -1,0 +1,50 @@
+#pragma once
+// Kernel call-site descriptors.
+//
+// Every parallel loop in the solver registers itself once as a KernelSite.
+// The registry serves two purposes:
+//  1. the directive model in src/variants computes, per code version, how
+//     many directive lines each site would require (paper Tables I, II);
+//  2. the cost model uses site kind / fusion group to account for kernel
+//     fusion and asynchronous launches (paper Sec. IV-B).
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace simas::par {
+
+/// Categories mirroring the loop classes the paper distinguishes in Sec. IV.
+enum class SiteKind {
+  ParallelLoop,     ///< plain data-parallel nest (OpenACC parallel+loop / DC)
+  ScalarReduction,  ///< e.g. CFL max, PCG dot products
+  ArrayReduction,   ///< indexed accumulation (OpenACC atomic / DC2X flip)
+  AtomicUpdate,     ///< non-reduction atomic updates
+  IntrinsicKernels, ///< Fortran array syntax / MINVAL-type (OpenACC kernels)
+};
+
+const char* site_kind_name(SiteKind k);
+
+/// Static description of one parallel loop in the source.
+struct KernelSite {
+  int id = -1;
+  std::string name;
+  SiteKind kind = SiteKind::ParallelLoop;
+  /// Sites sharing a fusion group that launch back-to-back can be compiled
+  /// into one GPU kernel by the ACC model (OpenACC kernel fusion). Group 0
+  /// means "not fusible".
+  int fusion_group = 0;
+  /// Loop body calls a pure helper routine (OpenACC `routine` directive;
+  /// requires -Minline under the pure-DC versions, paper Sec. IV-E).
+  bool calls_routine = false;
+  /// Loop touches a derived-type component (keeps enter/exit data directives
+  /// alive even under unified memory, paper Sec. IV-C).
+  bool uses_derived_type = false;
+  /// Kernel may be launched asynchronously in the ACC model.
+  bool async_capable = true;
+  /// Kernel touches boundary planes only (ghost fills, halo packing): its
+  /// traffic scales with the paper problem's surface, not its volume.
+  bool surface_scaled = false;
+};
+
+}  // namespace simas::par

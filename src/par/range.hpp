@@ -1,0 +1,32 @@
+#pragma once
+// Iteration spaces for parallel kernels. Index order matches Fortran MAS
+// loops: i is the fastest (innermost) dimension.
+
+#include "util/types.hpp"
+
+namespace simas::par {
+
+/// Half-open 3-D iteration box [i0,i1) x [j0,j1) x [k0,k1).
+struct Range3 {
+  idx i0 = 0, i1 = 0;
+  idx j0 = 0, j1 = 0;
+  idx k0 = 0, k1 = 0;
+
+  static Range3 cube(idx n1, idx n2, idx n3) {
+    return Range3{0, n1, 0, n2, 0, n3};
+  }
+
+  idx ni() const { return i1 - i0; }
+  idx nj() const { return j1 - j0; }
+  idx nk() const { return k1 - k0; }
+  idx count() const { return ni() * nj() * nk(); }
+  bool empty() const { return count() <= 0; }
+};
+
+/// 1-D range, used for packed buffers and solver vectors.
+struct Range1 {
+  idx begin = 0, end = 0;
+  idx count() const { return end - begin; }
+};
+
+}  // namespace simas::par

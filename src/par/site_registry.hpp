@@ -1,0 +1,49 @@
+#pragma once
+// Process-wide registry of kernel call-sites. Sites are registered lazily
+// the first time a call-site executes (via the SIMAS_SITE macro) and are
+// stable for the lifetime of the process. Thread-safe: solver ranks run in
+// threads and share the registry.
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "par/kernel_site.hpp"
+
+namespace simas::par {
+
+class SiteRegistry {
+ public:
+  static SiteRegistry& instance();
+
+  /// Register (or fetch the previously registered) site with this name.
+  /// Name collisions must describe the same site; kind/flags from the first
+  /// registration win.
+  const KernelSite& register_site(KernelSite proto);
+
+  /// Snapshot of all sites registered so far.
+  std::vector<KernelSite> all() const;
+
+  std::size_t size() const;
+
+ private:
+  SiteRegistry() = default;
+  mutable std::mutex mutex_;
+  // deque: growth never invalidates references returned by register_site().
+  std::deque<KernelSite> sites_;
+};
+
+/// Helper for static per-call-site registration:
+///   static const KernelSite& site = SIMAS_SITE("advance_rho",
+///                                              SiteKind::ParallelLoop, 3);
+#define SIMAS_SITE(...)                                            \
+  ::simas::par::SiteRegistry::instance().register_site(            \
+      ::simas::par::make_site(__VA_ARGS__))
+
+KernelSite make_site(std::string name, SiteKind kind, int fusion_group = 0,
+                     bool calls_routine = false,
+                     bool uses_derived_type = false,
+                     bool async_capable = true, bool surface_scaled = false);
+
+}  // namespace simas::par

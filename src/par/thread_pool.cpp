@@ -1,0 +1,84 @@
+#include "par/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace simas::par {
+
+ThreadPool::ThreadPool(int nthreads) : nthreads_(std::max(1, nthreads)) {
+  for (int t = 0; t < nthreads_ - 1; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_blocks(i64 nblocks, const std::function<void(i64)>& fn) {
+  if (nblocks <= 0) return;
+  if (nthreads_ == 1 || nblocks == 1) {
+    for (i64 b = 0; b < nblocks; ++b) fn(b);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    nblocks_ = nblocks;
+    next_block_ = 0;
+    blocks_done_ = 0;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  // The calling thread participates as a worker for this job.
+  for (;;) {
+    i64 block;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (next_block_ >= nblocks_) break;
+      block = next_block_++;
+    }
+    (*job_)(block);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (++blocks_done_ == nblocks_) cv_done_.notify_all();
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this] { return blocks_done_ == nblocks_; });
+  job_ = nullptr;  // under lock: workers compare against this pointer
+}
+
+void ThreadPool::worker_loop() {
+  u64 seen_generation = 0;
+  for (;;) {
+    const std::function<void(i64)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation &&
+                         next_block_ < nblocks_);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    for (;;) {
+      i64 block;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (job_ != job || next_block_ >= nblocks_) break;
+        block = next_block_++;
+      }
+      (*job)(block);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++blocks_done_ == nblocks_) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace simas::par

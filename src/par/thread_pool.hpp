@@ -1,0 +1,49 @@
+#pragma once
+// Small blocking fork-join thread pool used to execute kernel bodies on the
+// host. Work is partitioned into fixed-size blocks *independent of the
+// thread count* so that reductions built on top of it are deterministic.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace simas::par {
+
+class ThreadPool {
+ public:
+  /// nthreads == 1 means run inline on the caller (no worker threads).
+  explicit ThreadPool(int nthreads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return nthreads_; }
+
+  /// Run fn(block_index) for block_index in [0, nblocks); blocks are
+  /// distributed over the workers; blocks are executed exactly once.
+  /// Blocking: returns when all blocks are done.
+  void run_blocks(i64 nblocks, const std::function<void(i64)>& fn);
+
+ private:
+  void worker_loop();
+
+  int nthreads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(i64)>* job_ = nullptr;
+  i64 nblocks_ = 0;
+  i64 next_block_ = 0;
+  i64 blocks_done_ = 0;
+  u64 generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace simas::par

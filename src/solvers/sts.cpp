@@ -1,0 +1,90 @@
+#include "solvers/sts.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace simas::solvers {
+
+using par::SiteKind;
+
+int rkl2_stages_for(real dt, real dt_expl) {
+  if (dt_expl <= 0.0) throw std::invalid_argument("rkl2: dt_expl <= 0");
+  const double ratio = dt / dt_expl;
+  const int s =
+      static_cast<int>(std::ceil((std::sqrt(9.0 + 16.0 * ratio) - 1.0) / 2.0));
+  // RKL2 requires s >= 2; even a tiny step uses two stages.
+  return s < 2 ? 2 : s;
+}
+
+void rkl2_advance(par::Engine& eng, const RhsFn& rhs, field::Field& u,
+                  field::Field& y0, field::Field& ly0, field::Field& yjm1,
+                  field::Field& yjm2, field::Field& ly, real dt, int s,
+                  par::Range3 interior) {
+  if (s < 2) throw std::invalid_argument("rkl2_advance: need s >= 2 stages");
+
+  static const par::KernelSite& site_copy =
+      SIMAS_SITE("sts_copy", SiteKind::ParallelLoop, 55);
+  static const par::KernelSite& site_stage1 =
+      SIMAS_SITE("sts_stage1", SiteKind::ParallelLoop, 55);
+  static const par::KernelSite& site_stage =
+      SIMAS_SITE("sts_stage", SiteKind::ParallelLoop, 55);
+
+  const real w1 = 4.0 / (static_cast<real>(s) * s + s - 2.0);
+  auto b_of = [](int j) -> real {
+    if (j <= 2) return 1.0 / 3.0;
+    const real jj = static_cast<real>(j);
+    return (jj * jj + jj - 2.0) / (2.0 * jj * (jj + 1.0));
+  };
+
+  // y0 = u; ly0 = L(u).
+  eng.for_each(site_copy, interior, {par::in(u.id()), par::out(y0.id())},
+               [&](idx i, idx j, idx k) { y0(i, j, k) = u(i, j, k); });
+  rhs(u, ly0);
+
+  // Stage 1: y1 = y0 + mu~1 dt L(y0); yjm2 = y0.
+  const real mu_t1 = b_of(1) * w1;
+  eng.for_each(site_stage1, interior,
+               {par::in(y0.id()), par::in(ly0.id()), par::out(yjm1.id()),
+                par::out(yjm2.id())},
+               [&, mu_t1, dt](idx i, idx j, idx k) {
+                 yjm2(i, j, k) = y0(i, j, k);
+                 yjm1(i, j, k) = y0(i, j, k) + mu_t1 * dt * ly0(i, j, k);
+               });
+
+  for (int j = 2; j <= s; ++j) {
+    const real bj = b_of(j), bjm1 = b_of(j - 1), bjm2 = b_of(j - 2);
+    const real jj = static_cast<real>(j);
+    const real mu = (2.0 * jj - 1.0) / jj * bj / bjm1;
+    const real nu = -(jj - 1.0) / jj * bj / bjm2;
+    const real mu_t = mu * w1;
+    const real ajm1 = 1.0 - bjm1;
+    const real gamma_t = -ajm1 * mu_t;
+
+    rhs(yjm1, ly);
+    eng.for_each(
+        site_stage, interior,
+        {par::in(y0.id()), par::in(ly0.id()), par::in(yjm1.id()),
+         par::in(yjm2.id()), par::in(ly.id()), par::out(yjm2.id())},
+        [&, mu, nu, mu_t, gamma_t, dt](idx i, idx jy, idx k) {
+          const real yj = mu * yjm1(i, jy, k) + nu * yjm2(i, jy, k) +
+                          (1.0 - mu - nu) * y0(i, jy, k) +
+                          mu_t * dt * ly(i, jy, k) +
+                          gamma_t * dt * ly0(i, jy, k);
+          yjm2(i, jy, k) = yj;  // holds y_j; swapped below
+        });
+    // Rotate: (yjm2 holds the new y_j) -> swap roles via copies.
+    eng.for_each(site_copy, interior,
+                 {par::in(yjm1.id()), par::in(yjm2.id()), par::out(yjm1.id()),
+                  par::out(yjm2.id())},
+                 [&](idx i, idx jy, idx k) {
+                   const real new_y = yjm2(i, jy, k);
+                   yjm2(i, jy, k) = yjm1(i, jy, k);
+                   yjm1(i, jy, k) = new_y;
+                 });
+  }
+
+  eng.for_each(site_copy, interior, {par::in(yjm1.id()), par::out(u.id())},
+               [&](idx i, idx j, idx k) { u(i, j, k) = yjm1(i, j, k); });
+}
+
+}  // namespace simas::solvers

@@ -1,0 +1,30 @@
+#pragma once
+// RKL2 super-time-stepping (Meyer, Balsara & Aslam 2012) for parabolic
+// terms: advances du/dt = L(u) over one (possibly super-CFL) step dt using
+// s Runge-Kutta-Legendre stages. MAS uses exactly this family of schemes
+// for its parabolic operators as an alternative to implicit Krylov solves
+// (paper ref [25]); provided here for the conduction ablation.
+
+#include <functional>
+
+#include "field/field.hpp"
+#include "par/engine.hpp"
+#include "par/range.hpp"
+
+namespace simas::solvers {
+
+/// y = L(x); must fill any ghosts it needs.
+using RhsFn = std::function<void(field::Field& x, field::Field& y)>;
+
+/// Number of stages needed for stability when dt exceeds the explicit
+/// parabolic limit dt_expl: s >= (sqrt(9 + 16 dt/dt_expl) - 1) / 2.
+int rkl2_stages_for(real dt, real dt_expl);
+
+/// Advance u by dt with s stages. The five scratch fields must have the
+/// same shape as u and are clobbered.
+void rkl2_advance(par::Engine& eng, const RhsFn& rhs, field::Field& u,
+                  field::Field& y0, field::Field& ly0, field::Field& yjm1,
+                  field::Field& yjm2, field::Field& ly, real dt, int s,
+                  par::Range3 interior);
+
+}  // namespace simas::solvers

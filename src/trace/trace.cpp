@@ -1,0 +1,66 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace simas::trace {
+
+const char* lane_name(Lane lane) {
+  switch (lane) {
+    case Lane::Kernel: return "kernels";
+    case Lane::Migration: return "um-migration";
+    case Lane::Transfer: return "transfer";
+    case Lane::MpiWait: return "mpi-wait";
+  }
+  return "?";
+}
+
+void Recorder::record(double t0, double t1, Lane lane, std::string name) {
+  if (!enabled_) return;
+  if (t1 <= t0) return;
+  events_.push_back(Event{t0, t1, lane, std::move(name)});
+}
+
+double Recorder::lane_busy(Lane lane, double t0, double t1) const {
+  double busy = 0.0;
+  for (const auto& e : events_) {
+    if (e.lane != lane) continue;
+    const double lo = std::max(e.t0, t0);
+    const double hi = std::min(e.t1, t1);
+    if (hi > lo) busy += hi - lo;
+  }
+  return busy;
+}
+
+void Recorder::render_ascii(std::ostream& os, double t0, double t1,
+                            int columns) const {
+  if (t1 <= t0 || columns <= 0) return;
+  const double dt = (t1 - t0) / columns;
+  const Lane lanes[] = {Lane::Kernel, Lane::Migration, Lane::Transfer,
+                        Lane::MpiWait};
+  for (const Lane lane : lanes) {
+    std::string row(static_cast<std::size_t>(columns), '.');
+    for (const auto& e : events_) {
+      if (e.lane != lane || e.t1 <= t0 || e.t0 >= t1) continue;
+      int c0 = static_cast<int>((e.t0 - t0) / dt);
+      int c1 = static_cast<int>((e.t1 - t0) / dt);
+      c0 = std::clamp(c0, 0, columns - 1);
+      c1 = std::clamp(c1, c0, columns - 1);
+      for (int c = c0; c <= c1; ++c) row[static_cast<std::size_t>(c)] = '#';
+    }
+    os << "  " << lane_name(lane);
+    for (std::size_t pad = std::string(lane_name(lane)).size(); pad < 14; ++pad)
+      os << ' ';
+    os << '|' << row << "|\n";
+  }
+}
+
+void Recorder::write_csv(std::ostream& os) const {
+  os << "t0,t1,lane,name\n";
+  for (const auto& e : events_) {
+    os << e.t0 << ',' << e.t1 << ',' << lane_name(e.lane) << ',' << e.name
+       << '\n';
+  }
+}
+
+}  // namespace simas::trace

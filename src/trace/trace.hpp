@@ -1,0 +1,59 @@
+#pragma once
+// Timeline recorder producing NSIGHT-Systems-style traces of modeled
+// activity (kernel launches, page migrations, P2P transfers, MPI waits).
+// Used by bench_fig4_trace to reproduce the paper's Fig. 4 comparison of
+// manual memory management vs unified memory during viscosity-solver
+// iterations.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace simas::trace {
+
+enum class Lane {
+  Kernel,      ///< GPU compute kernels
+  Migration,   ///< unified-memory page migrations (CPU-GPU)
+  Transfer,    ///< peer-to-peer / staged MPI transfers
+  MpiWait,     ///< blocking in MPI (load imbalance)
+};
+
+const char* lane_name(Lane lane);
+
+struct Event {
+  double t0 = 0.0;  ///< modeled start time (s)
+  double t1 = 0.0;  ///< modeled end time (s)
+  Lane lane = Lane::Kernel;
+  std::string name;
+};
+
+class Recorder {
+ public:
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(double t0, double t1, Lane lane, std::string name);
+  void clear() { events_.clear(); }
+
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Total busy time per lane within [t0, t1] (events clipped).
+  double lane_busy(Lane lane, double t0, double t1) const;
+
+  /// Render an ASCII timeline: one row per lane, `columns` characters wide,
+  /// covering [t0, t1]. A cell is marked when any event of that lane
+  /// overlaps the cell's time slice.
+  void render_ascii(std::ostream& os, double t0, double t1,
+                    int columns = 100) const;
+
+  /// Write events as CSV (t0,t1,lane,name).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<Event> events_;
+};
+
+}  // namespace simas::trace

@@ -1,0 +1,47 @@
+#pragma once
+// Tiny leveled logger. Quiet by default so benchmark output stays clean;
+// raise the level in examples and when debugging.
+
+#include <sstream>
+#include <string>
+
+namespace simas {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <class... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream ss;
+  (ss << ... << args);
+  return ss.str();
+}
+}  // namespace detail
+
+template <class... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_message(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+template <class... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_message(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+template <class... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_message(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+template <class... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_message(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace simas

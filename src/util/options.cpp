@@ -1,0 +1,50 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+
+namespace simas {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Options::get(const std::string& key, const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+long long Options::get_int(const std::string& key, long long def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "1" || it->second == "true" || it->second == "yes" ||
+         it->second == "on";
+}
+
+}  // namespace simas

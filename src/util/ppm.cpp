@@ -1,0 +1,57 @@
+#include "util/ppm.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace simas {
+
+Rgb heat_color(double v) {
+  v = std::clamp(v, 0.0, 1.0);
+  // Piecewise black -> red -> yellow -> white.
+  const double r = std::clamp(3.0 * v, 0.0, 1.0);
+  const double g = std::clamp(3.0 * v - 1.0, 0.0, 1.0);
+  const double b = std::clamp(3.0 * v - 2.0, 0.0, 1.0);
+  return Rgb{static_cast<unsigned char>(255 * r),
+             static_cast<unsigned char>(255 * g),
+             static_cast<unsigned char>(255 * b)};
+}
+
+void write_ppm(std::ostream& os, const std::vector<Rgb>& pixels, int width,
+               int height) {
+  if (static_cast<std::size_t>(width) * height != pixels.size())
+    throw std::invalid_argument("write_ppm: size mismatch");
+  os << "P6\n" << width << " " << height << "\n255\n";
+  for (const Rgb& p : pixels) {
+    os.put(static_cast<char>(p.r));
+    os.put(static_cast<char>(p.g));
+    os.put(static_cast<char>(p.b));
+  }
+}
+
+void render_field_ppm(std::ostream& os, const std::vector<double>& values,
+                      int width, int height, int upscale) {
+  if (static_cast<std::size_t>(width) * height != values.size())
+    throw std::invalid_argument("render_field_ppm: size mismatch");
+  if (upscale < 1) upscale = 1;
+  double lo = values[0], hi = values[0];
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  const int w = width * upscale, h = height * upscale;
+  std::vector<Rgb> pixels(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double v =
+          values[static_cast<std::size_t>(y / upscale) * width +
+                 static_cast<std::size_t>(x / upscale)];
+      pixels[static_cast<std::size_t>(y) * w + x] =
+          heat_color((v - lo) / span);
+    }
+  }
+  write_ppm(os, pixels, w, h);
+}
+
+}  // namespace simas

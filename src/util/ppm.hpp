@@ -1,0 +1,29 @@
+#pragma once
+// Minimal PPM (P6) image writer with a perceptually-ordered "heat"
+// colormap, used to render Fig.-1-style solution cuts without external
+// dependencies.
+
+#include <iosfwd>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace simas {
+
+struct Rgb {
+  unsigned char r = 0, g = 0, b = 0;
+};
+
+/// Map v in [0, 1] through a black-red-yellow-white heat colormap.
+Rgb heat_color(double v);
+
+/// Write a width x height image; pixels are row-major, top row first.
+void write_ppm(std::ostream& os, const std::vector<Rgb>& pixels, int width,
+               int height);
+
+/// Render a scalar field slice (row-major values) to a PPM stream,
+/// normalizing [min, max] -> colormap; pixels can be integer-upscaled.
+void render_field_ppm(std::ostream& os, const std::vector<double>& values,
+                      int width, int height, int upscale = 4);
+
+}  // namespace simas

@@ -1,0 +1,56 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace simas {
+
+namespace {
+u64 splitmix64(u64& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+u64 Rng::next_u64() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u1 = uniform();
+  double u2 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = mag * std::sin(2.0 * kPi * u2);
+  have_spare_ = true;
+  return mag * std::cos(2.0 * kPi * u2);
+}
+
+}  // namespace simas

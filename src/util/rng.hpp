@@ -1,0 +1,31 @@
+#pragma once
+// Deterministic, seedable RNG (xoshiro256**). Used for perturbations in
+// example problems and modeled run-to-run jitter in the benchmark harness.
+// Deterministic across platforms so tests are reproducible.
+
+#include "util/types.hpp"
+
+namespace simas {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull);
+
+  u64 next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic pairing).
+  double normal();
+
+ private:
+  u64 s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace simas

@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace simas {
+
+std::string format_fixed(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+Table::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+
+Table::RowBuilder& Table::RowBuilder::cell(const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(double v, int precision) {
+  cells_.push_back(format_fixed(v, precision));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(long long v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  // Compute column widths over header and all rows.
+  std::vector<std::size_t> width;
+  auto absorb = [&width](const std::vector<std::string>& row) {
+    if (row.size() > width.size()) width.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  absorb(header_);
+  for (const auto& r : rows_) absorb(r);
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) print_row(r);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& r : rows_) write_row(r);
+}
+
+}  // namespace simas

@@ -1,0 +1,54 @@
+#pragma once
+// Minimal ASCII table / CSV writer used by the benchmark harness to print
+// the paper's tables and figure data series.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace simas {
+
+/// Column-aligned ASCII table with an optional title, rendered to a stream.
+/// Cells are strings; numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Append a fully formatted row built from heterogeneous cells.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& t) : table_(t) {}
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+    RowBuilder& cell(const std::string& s);
+    RowBuilder& cell(double v, int precision = 2);
+    RowBuilder& cell(long long v);
+    RowBuilder& cell(long v) { return cell(static_cast<long long>(v)); }
+    RowBuilder& cell(int v) { return cell(static_cast<long long>(v)); }
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (no quoting of embedded commas needed for our data).
+  void write_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+std::string format_fixed(double v, int precision);
+
+}  // namespace simas

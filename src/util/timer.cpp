@@ -1,0 +1,17 @@
+#include "util/timer.hpp"
+
+namespace simas {
+
+void StopWatch::start() {
+  if (running_) return;
+  timer_.reset();
+  running_ = true;
+}
+
+void StopWatch::stop() {
+  if (!running_) return;
+  total_ += timer_.seconds();
+  running_ = false;
+}
+
+}  // namespace simas

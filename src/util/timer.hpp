@@ -1,0 +1,40 @@
+#pragma once
+// Wall-clock timer for measuring *host* execution time. Modeled (simulated)
+// time lives in gpusim::ClockLedger; this is only for instrumentation of the
+// harness itself.
+
+#include <chrono>
+
+namespace simas {
+
+class Timer {
+ public:
+  Timer() { reset(); }
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals.
+class StopWatch {
+ public:
+  void start();
+  void stop();
+  double seconds() const { return total_; }
+  bool running() const { return running_; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace simas

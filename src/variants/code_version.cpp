@@ -1,0 +1,180 @@
+#include "variants/code_version.hpp"
+
+#include <stdexcept>
+
+namespace simas::variants {
+
+const char* version_tag(CodeVersion v) {
+  switch (v) {
+    case CodeVersion::Cpu: return "CPU";
+    case CodeVersion::A: return "A";
+    case CodeVersion::AD: return "AD";
+    case CodeVersion::ADU: return "ADU";
+    case CodeVersion::AD2XU: return "AD2XU";
+    case CodeVersion::D2XU: return "D2XU";
+    case CodeVersion::D2XAd: return "D2XAd";
+  }
+  return "?";
+}
+
+std::string version_description(CodeVersion v) {
+  switch (v) {
+    case CodeVersion::Cpu:
+      return "Original CPU-only version";
+    case CodeVersion::A:
+      return "Original OpenACC implementation";
+    case CodeVersion::AD:
+      return "OpenACC for DC-incompatible loops and data management, "
+             "DC for remaining loops";
+    case CodeVersion::ADU:
+      return "OpenACC for DC-incompatible loops, DC for remaining loops, "
+             "Unified memory";
+    case CodeVersion::AD2XU:
+      return "OpenACC for functionality, DC2X for remaining loops, "
+             "Unified memory";
+    case CodeVersion::D2XU:
+      return "DC2X for all loops, some code modifications, Unified memory";
+    case CodeVersion::D2XAd:
+      return "DC2X for all loops, some code modifications, "
+             "OpenACC for data management";
+  }
+  return "?";
+}
+
+std::string version_compiler_flags(CodeVersion v) {
+  switch (v) {
+    case CodeVersion::Cpu:
+      return "(CPU compiler defaults)";
+    case CodeVersion::A:
+      return "-acc=gpu -gpu=cc80";
+    case CodeVersion::AD:
+      return "-acc=gpu -stdpar=gpu -gpu=cc80,nomanaged";
+    case CodeVersion::ADU:
+      return "-acc=gpu -stdpar=gpu -gpu=cc80,managed";
+    case CodeVersion::AD2XU:
+      return "-acc=gpu -stdpar=gpu -gpu=cc80,managed";
+    case CodeVersion::D2XU:
+      return "-stdpar=gpu -gpu=cc80 "
+             "-Minline=reshape,name:s2c,boost,interp,c2s,sv2cv";
+    case CodeVersion::D2XAd:
+      return "-acc=gpu -stdpar=gpu -gpu=cc80,nomanaged "
+             "-Minline=reshape,name:s2c,boost,interp,c2s,sv2cv";
+  }
+  return "?";
+}
+
+VersionTraits traits_of(CodeVersion v) {
+  VersionTraits t;
+  t.version = v;
+  switch (v) {
+    case CodeVersion::Cpu:
+      t.loops = par::LoopModel::Acc;  // plain do loops; no offload
+      t.memory = gpusim::MemoryMode::HostOnly;
+      t.gpu = false;
+      break;
+    case CodeVersion::A:
+      t.loops = par::LoopModel::Acc;
+      t.memory = gpusim::MemoryMode::Manual;
+      t.acc_parallel_loops = true;
+      t.acc_scalar_reductions = true;
+      t.acc_atomics = true;
+      t.acc_routine = true;
+      t.acc_kernels = true;
+      t.acc_data_directives = true;
+      t.acc_declare = true;
+      t.acc_set_device = true;
+      break;
+    case CodeVersion::AD:
+      t.loops = par::LoopModel::Dc2018;
+      t.memory = gpusim::MemoryMode::Manual;
+      t.acc_scalar_reductions = true;  // F2018 DC has no reduce clause
+      t.acc_atomics = true;
+      t.acc_routine = true;
+      t.acc_kernels = true;
+      t.acc_data_directives = true;
+      t.acc_declare = true;
+      t.acc_set_device = true;
+      break;
+    case CodeVersion::ADU:
+      t.loops = par::LoopModel::Dc2018;
+      t.memory = gpusim::MemoryMode::Unified;
+      t.acc_scalar_reductions = true;
+      t.acc_atomics = true;
+      t.acc_routine = true;
+      t.acc_kernels = true;
+      t.acc_derived_type_data = true;  // needed for default(present)
+      t.acc_declare = true;
+      t.acc_set_device = true;
+      break;
+    case CodeVersion::AD2XU:
+      t.loops = par::LoopModel::Dc2x;
+      t.memory = gpusim::MemoryMode::Unified;
+      t.acc_atomics = true;  // array reductions: DC + !$acc atomic
+      t.acc_routine = true;
+      t.acc_kernels = true;
+      t.acc_declare = true;
+      t.acc_set_device = true;
+      break;
+    case CodeVersion::D2XU:
+      t.loops = par::LoopModel::Dc2x;
+      t.memory = gpusim::MemoryMode::Unified;
+      t.needs_inline_flags = true;
+      t.needs_launch_script = true;
+      t.duplicate_cpu_setup_routines = false;  // removed thanks to UM
+      break;
+    case CodeVersion::D2XAd:
+      t.loops = par::LoopModel::Dc2x;
+      t.memory = gpusim::MemoryMode::Manual;
+      t.acc_data_directives = true;
+      t.init_wrapper_routines = true;
+      t.needs_inline_flags = true;
+      t.needs_launch_script = true;
+      break;
+    default:
+      throw std::invalid_argument("traits_of: unknown version");
+  }
+  return t;
+}
+
+par::EngineConfig engine_config(CodeVersion v, gpusim::DeviceSpec device,
+                                int host_threads) {
+  const VersionTraits t = traits_of(v);
+  par::EngineConfig cfg;
+  cfg.loops = t.loops;
+  cfg.memory = t.memory;
+  cfg.gpu = t.gpu;
+  if (device.is_cpu) {
+    // Running a GPU-capable version on CPU nodes (paper Table III): the
+    // directives are ignored / compiled multicore, DC maps to the same
+    // loops, and there is no device memory — Codes 1 and 2 behave
+    // identically on the CPU.
+    cfg.gpu = false;
+    cfg.memory = gpusim::MemoryMode::HostOnly;
+  }
+  cfg.device = std::move(device);
+  cfg.host_threads = host_threads;
+  // Kernel fusion and async launches are OpenACC features; they only apply
+  // when plain loops are still OpenACC (Code 1). DC loops fission and
+  // launch synchronously (paper Sec. IV-B).
+  cfg.fusion_enabled = t.acc_parallel_loops;
+  cfg.async_enabled = t.acc_parallel_loops;
+  // Code 6's wrapper routines add array-initialization kernels the
+  // original code did not have (paper Sec. V-C: "a bit slower than
+  // Code 2 (AD)... likely due to additional array initialization
+  // kernels in the wrapper routines").
+  if (t.init_wrapper_routines) cfg.wrapper_init_overhead = 0.045;
+  return cfg;
+}
+
+std::vector<CodeVersion> all_versions() {
+  return {CodeVersion::Cpu, CodeVersion::A,     CodeVersion::AD,
+          CodeVersion::ADU, CodeVersion::AD2XU, CodeVersion::D2XU,
+          CodeVersion::D2XAd};
+}
+
+std::vector<CodeVersion> gpu_versions() {
+  return {CodeVersion::A,     CodeVersion::AD,   CodeVersion::ADU,
+          CodeVersion::AD2XU, CodeVersion::D2XU, CodeVersion::D2XAd};
+}
+
+}  // namespace simas::variants

@@ -1,0 +1,135 @@
+#include "variants/directive_model.hpp"
+
+namespace simas::variants {
+
+namespace {
+
+// Directive lines one construct costs in OpenACC form (Fortran layout):
+//   plain loop:       !$acc parallel default(present)
+//                     !$acc loop collapse(n)
+//                     !$acc end parallel                      -> 3 lines
+//   reduction loop:   same, with reduction clause             -> 3 lines
+//   array reduction:  3 + one !$acc atomic update inside      -> 4 lines
+//   bare atomic site: 1 atomic line inside an existing loop   -> 1 line
+//   kernels region:   !$acc kernels / !$acc end kernels       -> 2 lines
+//   routine:          !$acc routine seq at the callee + decl  -> 2 lines
+constexpr i64 kLoopLines = 3;
+constexpr i64 kAtomicLinesInLoop = 1;
+constexpr i64 kKernelsLines = 2;
+constexpr i64 kRoutineLines = 2;
+// Continuation-line overhead: long clause lists spill onto !$acc& lines
+// (82 of 1458 in MAS, ~6%).
+constexpr double kContinuationFraction = 0.06;
+
+i64 continuation_of(i64 subtotal) {
+  return static_cast<i64>(subtotal * kContinuationFraction);
+}
+
+}  // namespace
+
+DirectiveBreakdown directives_for(const CodeInventory& inv,
+                                  CodeVersion version) {
+  const VersionTraits t = traits_of(version);
+  DirectiveBreakdown d;
+  if (version == CodeVersion::Cpu) return d;  // ∅
+
+  if (t.acc_parallel_loops) {
+    d.parallel_loop += kLoopLines * inv.parallel_loops;
+  }
+  if (t.acc_scalar_reductions) {
+    d.parallel_loop += kLoopLines * inv.scalar_reductions;
+  }
+  // Array reductions: full OpenACC loops in Codes 1-3 (loop + atomic);
+  // DC loops with a bare atomic inside in Code 4; pure DC2X (flipped
+  // reduce) afterwards.
+  if (t.acc_scalar_reductions) {  // Codes 1-3: loops are still OpenACC
+    d.parallel_loop += kLoopLines * inv.array_reductions;
+  }
+  if (t.acc_atomics) {
+    d.atomic += kAtomicLinesInLoop * (inv.array_reductions +
+                                      inv.atomic_updates);
+  }
+  if (t.acc_routine) d.routine += kRoutineLines * inv.routine_sites;
+  if (t.acc_kernels) d.kernels += kKernelsLines * inv.intrinsic_kernels;
+
+  if (t.acc_data_directives) {
+    // enter + exit per persistent array, plus explicit updates. Code 6
+    // consolidates creation/initialization into wrapper routines, which
+    // removes the per-array enter/exit pairs in favour of one call line
+    // (not a directive) plus a small wrapper module.
+    if (t.init_wrapper_routines) {
+      d.data += inv.persistent_arrays +  // single create inside wrapper
+                inv.update_sites + 2 * inv.device_globals;
+    } else {
+      d.data += 2 * inv.persistent_arrays + inv.update_sites +
+                2 * inv.device_globals;
+    }
+  }
+  if (t.acc_derived_type_data) {
+    // UM pages the member arrays but not the static derived-type shells;
+    // default(present) reduction loops need them placed manually
+    // (paper Sec. IV-C).
+    d.data += 2 * inv.derived_types;
+  }
+  if (t.acc_declare && !t.acc_data_directives && !t.acc_derived_type_data) {
+    // ADU/AD2XU keep a declare (+ update) for data used inside device
+    // functions (paper Sec. IV-C).
+    d.data += 2 * inv.device_globals;
+  } else if (t.acc_declare && t.acc_data_directives &&
+             version != CodeVersion::A && version != CodeVersion::AD) {
+    d.data += 2 * inv.device_globals;
+  }
+
+  // wait directives accompany async queues (Code 1 only).
+  if (t.acc_parallel_loops) d.wait = 6;
+  if (t.acc_set_device) d.set_device = 1;
+
+  d.continuation = continuation_of(d.parallel_loop + d.data + d.atomic +
+                                   d.routine + d.kernels);
+  return d;
+}
+
+i64 total_lines_for(const CodeInventory& inv, CodeVersion version) {
+  const VersionTraits t = traits_of(version);
+  i64 lines = inv.base_lines;
+  lines += directives_for(inv, version).total();
+  if (t.duplicate_cpu_setup_routines && t.memory != gpusim::MemoryMode::HostOnly)
+    lines += inv.setup_duplicate_lines;
+  if (t.init_wrapper_routines) lines += 40;  // wrapper module
+  if (version == CodeVersion::Cpu) lines -= 0;
+  // DC loops are more compact than the equivalent do-loop nests
+  // (paper Listing 1 vs 2: the collapse(3) nest loses ~4 enddo/do lines).
+  if (t.loops != par::LoopModel::Acc || version == CodeVersion::Cpu) {
+    // versions using DC for plain loops save ~4 lines per converted nest
+    if (version != CodeVersion::Cpu)
+      lines -= 4 * inv.parallel_loops;
+  }
+  return lines;
+}
+
+std::vector<PaperTable1Row> paper_table1() {
+  return {
+      {CodeVersion::Cpu, 69874, -1},
+      {CodeVersion::A, 73865, 1458},
+      {CodeVersion::AD, 71661, 540},
+      {CodeVersion::ADU, 71269, 162},
+      {CodeVersion::AD2XU, 70868, 55},
+      {CodeVersion::D2XU, 68994, 0},
+      {CodeVersion::D2XAd, 71623, 277},
+  };
+}
+
+std::vector<PaperTable2Row> paper_table2() {
+  return {
+      {"parallel, loop", 997},
+      {"data management (enter, exit, update, host_data, declare)", 320},
+      {"atomic", 34},
+      {"routine", 12},
+      {"kernels", 6},
+      {"wait", 6},
+      {"set device_num", 1},
+      {"continuation lines (!$acc&)", 82},
+  };
+}
+
+}  // namespace simas::variants

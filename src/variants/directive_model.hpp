@@ -1,0 +1,76 @@
+#pragma once
+// Directive accounting model.
+//
+// Applies the porting rules of the paper's Sec. IV to SIMAS's own kernel
+// call-site inventory to compute, per code version, how many OpenACC
+// directive lines the equivalent Fortran source would carry. Our solver is
+// smaller than the 70 kLoC MAS, so absolute counts differ from Table I/II;
+// the *rules* are the paper's, so the reduction ladder (A -> AD -> ADU ->
+// AD2XU -> D2XU -> D2XAd) reproduces proportionally. Benches print both.
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+#include "variants/code_version.hpp"
+
+namespace simas::variants {
+
+/// Counts of directive-relevant constructs in a codebase.
+struct CodeInventory {
+  i64 parallel_loops = 0;     ///< plain data-parallel loop nests
+  i64 scalar_reductions = 0;
+  i64 array_reductions = 0;
+  i64 atomic_updates = 0;     ///< non-reduction atomics
+  i64 intrinsic_kernels = 0;  ///< array-syntax / MINVAL-style regions
+  i64 routine_sites = 0;      ///< loops calling pure helper routines
+  i64 persistent_arrays = 0;  ///< arrays inside the device data region
+  i64 update_sites = 0;       ///< update host/device call sites
+  i64 derived_types = 0;      ///< derived types used in kernels
+  i64 device_globals = 0;     ///< module variables needing `declare`
+  i64 base_lines = 0;         ///< non-directive source lines
+  i64 setup_duplicate_lines = 0;  ///< CPU-only duplicates of GPU routines
+};
+
+/// Per-type directive line counts for one code version (the paper's
+/// Table II categories).
+struct DirectiveBreakdown {
+  i64 parallel_loop = 0;  ///< parallel, loop (+ reduce clauses)
+  i64 data = 0;           ///< enter/exit/update/host_data/declare
+  i64 atomic = 0;
+  i64 routine = 0;
+  i64 kernels = 0;
+  i64 wait = 0;
+  i64 set_device = 0;
+  i64 continuation = 0;   ///< !$acc& continuation lines
+
+  i64 total() const {
+    return parallel_loop + data + atomic + routine + kernels + wait +
+           set_device + continuation;
+  }
+};
+
+/// Apply the Sec. IV rules for `version` to `inv`.
+DirectiveBreakdown directives_for(const CodeInventory& inv,
+                                  CodeVersion version);
+
+/// Total source lines of the version (base + directives + duplicated
+/// setup routines + wrapper code), the paper's Table I "Total Lines".
+i64 total_lines_for(const CodeInventory& inv, CodeVersion version);
+
+/// The paper's measured values for MAS (Tables I and II), for side-by-side
+/// reporting and shape tests.
+struct PaperTable1Row {
+  CodeVersion version;
+  i64 total_lines;
+  i64 acc_lines;  ///< -1 encodes the paper's "∅"
+};
+std::vector<PaperTable1Row> paper_table1();
+
+struct PaperTable2Row {
+  std::string directive_type;
+  i64 lines;
+};
+std::vector<PaperTable2Row> paper_table2();
+
+}  // namespace simas::variants

@@ -1,0 +1,19 @@
+#pragma once
+// Gathers the directive-relevant inventory of SIMAS itself from the live
+// kernel-site registry and a rank's memory manager. A canonical solver
+// must have been instantiated (and stepped once) so that every call-site
+// has registered itself.
+
+#include "variants/directive_model.hpp"
+
+namespace simas::par {
+class Engine;
+}
+
+namespace simas::variants {
+
+/// Build the inventory from the global SiteRegistry plus the arrays
+/// registered in `engine`'s memory manager.
+CodeInventory gather_inventory(par::Engine& engine);
+
+}  // namespace simas::variants

@@ -1,0 +1,72 @@
+// Device selection: the `set device_num` directive vs the paper's
+// Listing 6 launch script must resolve each MPI rank to the same physical
+// GPU.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device_select.hpp"
+
+namespace simas::gpusim {
+namespace {
+
+TEST(DeviceSelect, BothMethodsPickTheSamePhysicalGpu) {
+  for (int gpus = 1; gpus <= 8; gpus *= 2) {
+    for (int rank = 0; rank < 2 * gpus; ++rank) {
+      const auto via_directive =
+          resolve_device(SelectionMethod::SetDeviceDirective, rank, gpus);
+      const auto via_script =
+          resolve_device(SelectionMethod::LaunchScript, rank, gpus);
+      EXPECT_EQ(via_directive.physical_id, via_script.physical_id)
+          << "rank " << rank << " gpus " << gpus;
+    }
+  }
+}
+
+TEST(DeviceSelect, DirectiveSeesAllDevicesScriptSeesOne) {
+  const auto d = resolve_device(SelectionMethod::SetDeviceDirective, 5, 8);
+  EXPECT_EQ(d.visible_count, 8);
+  EXPECT_EQ(d.visible_id, 5);
+  const auto s = resolve_device(SelectionMethod::LaunchScript, 5, 8);
+  EXPECT_EQ(s.visible_count, 1);
+  EXPECT_EQ(s.visible_id, 0);  // restricted set: always device 0
+  EXPECT_EQ(s.physical_id, 5);
+}
+
+TEST(DeviceSelect, RoundRobinBeyondNodeCapacity) {
+  const auto d = resolve_device(SelectionMethod::LaunchScript, 11, 8);
+  EXPECT_EQ(d.physical_id, 3);
+}
+
+TEST(DeviceSelect, RejectsBadArguments) {
+  EXPECT_THROW(resolve_device(SelectionMethod::LaunchScript, 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(resolve_device(SelectionMethod::LaunchScript, -1, 4),
+               std::invalid_argument);
+}
+
+TEST(DeviceSelect, LaunchScriptMatchesPaperListing6) {
+  const std::string script = launch_script(MpiFlavor::OpenMpi);
+  // Paper Listing 6 structure, for the OpenMPI bundled with the NV HPC SDK.
+  EXPECT_NE(script.find("#!/bin/bash"), std::string::npos);
+  EXPECT_NE(script.find("export CUDA_VISIBLE_DEVICES="
+                        "\"$OMPI_COMM_WORLD_LOCAL_RANK\""),
+            std::string::npos);
+  EXPECT_NE(script.find("exec $*"), std::string::npos);
+}
+
+TEST(DeviceSelect, OtherMpiFlavors) {
+  EXPECT_NE(launch_script(MpiFlavor::Srun).find("SLURM_LOCALID"),
+            std::string::npos);
+  EXPECT_NE(launch_script(MpiFlavor::Mpich).find("MPI_LOCALRANKID"),
+            std::string::npos);
+}
+
+TEST(DeviceSelect, LaunchCommandShape) {
+  EXPECT_EQ(launch_command(SelectionMethod::LaunchScript, 8, "mas"),
+            "mpirun -np 8 ./launch.sh ./mas");
+  EXPECT_EQ(launch_command(SelectionMethod::SetDeviceDirective, 4, "mas"),
+            "mpirun -np 4 ./mas");
+}
+
+}  // namespace
+}  // namespace simas::gpusim

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/clock_ledger.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/memory_manager.hpp"
+#include "gpusim/unified_pages.hpp"
+
+namespace simas::gpusim {
+namespace {
+
+TEST(DeviceSpec, PaperPlatformNumbers) {
+  const auto a100 = a100_40gb();
+  EXPECT_DOUBLE_EQ(a100.mem_bw_gbs, 1555.0);  // paper Sec. V-B
+  EXPECT_DOUBLE_EQ(a100.mem_bytes, 40.0e9);
+  EXPECT_FALSE(a100.is_cpu);
+  const auto epyc = epyc7742_node();
+  EXPECT_DOUBLE_EQ(epyc.mem_bw_gbs, 409.5);  // paper Sec. V-B
+  EXPECT_TRUE(epyc.is_cpu);
+  EXPECT_GT(a100.effective_bw_bytes_per_s(),
+            epyc.effective_bw_bytes_per_s());
+}
+
+TEST(ClockLedger, AdvanceAndCategories) {
+  ClockLedger l;
+  l.advance(1.0, TimeCategory::Compute);
+  l.advance(0.5, TimeCategory::Mpi);
+  l.advance(-1.0, TimeCategory::Mpi);  // negative is ignored
+  EXPECT_DOUBLE_EQ(l.now(), 1.5);
+  EXPECT_DOUBLE_EQ(l.mpi_time(), 0.5);
+  EXPECT_DOUBLE_EQ(l.non_mpi_time(), 1.0);
+}
+
+TEST(ClockLedger, WaitUntilOnlyMovesForward) {
+  ClockLedger l;
+  l.advance(2.0, TimeCategory::Compute);
+  EXPECT_DOUBLE_EQ(l.wait_until(1.0, TimeCategory::Mpi), 0.0);
+  EXPECT_DOUBLE_EQ(l.now(), 2.0);
+  EXPECT_DOUBLE_EQ(l.wait_until(3.0, TimeCategory::Mpi), 1.0);
+  EXPECT_DOUBLE_EQ(l.now(), 3.0);
+  EXPECT_DOUBLE_EQ(l.mpi_time(), 1.0);
+}
+
+TEST(CostModel, KernelTimeScalesWithBytesAndScaleClass) {
+  CostModel cm(a100_40gb(), 100.0, 10.0);
+  const double t1 = cm.kernel_time(1 << 20, ScaleClass::Volume);
+  const double t2 = cm.kernel_time(2 << 20, ScaleClass::Volume);
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-12);
+  const double ts = cm.kernel_time(1 << 20, ScaleClass::Surface);
+  EXPECT_NEAR(t1 / ts, 10.0, 1e-9);  // vol scale 100 vs surf scale 10
+  const double tn = cm.kernel_time(1 << 20, ScaleClass::None);
+  EXPECT_NEAR(ts / tn, 10.0, 1e-9);
+}
+
+TEST(CostModel, LaunchTimeFusionAsyncUnified) {
+  CostModel cm(a100_40gb());
+  const double full = cm.launch_time(false, false, false);
+  EXPECT_DOUBLE_EQ(full, a100_40gb().launch_overhead_s);
+  EXPECT_DOUBLE_EQ(cm.launch_time(true, false, false), 0.0);  // fused
+  const double async = cm.launch_time(false, true, false);
+  EXPECT_LT(async, full);
+  EXPECT_GT(async, 0.0);
+  const double um = cm.launch_time(false, false, true);
+  EXPECT_GT(um, full);  // UM adds inter-kernel gap
+}
+
+TEST(CostModel, WorkingSetBoostMonotoneAndCapped) {
+  CostModel cm(a100_40gb());
+  const double base = cm.effective_bw();
+  cm.set_working_set_shrink(2.0);
+  const double b2 = cm.effective_bw();
+  cm.set_working_set_shrink(8.0);
+  const double b8 = cm.effective_bw();
+  cm.set_working_set_shrink(1e9);
+  const double bmax = cm.effective_bw();
+  EXPECT_GT(b2, base);
+  EXPECT_GT(b8, b2);
+  EXPECT_LE(bmax / base, a100_40gb().ws_boost_cap + 1e-12);
+  cm.set_working_set_shrink(0.5);  // growing working set: no boost
+  EXPECT_DOUBLE_EQ(cm.effective_bw(), base);
+}
+
+TEST(CostModel, UmMigrationIncludesFaultLatency) {
+  const auto spec = a100_40gb();
+  CostModel cm(spec);
+  const i64 one_page = static_cast<i64>(spec.um_page_bytes);
+  const double t = cm.um_migration_time(one_page, ScaleClass::None);
+  EXPECT_GT(t, spec.um_fault_latency_s);
+  // Twice the bytes: two faults plus double the transfer.
+  const double t2 = cm.um_migration_time(2 * one_page, ScaleClass::None);
+  EXPECT_GT(t2, t * 1.5);
+  EXPECT_DOUBLE_EQ(cm.um_migration_time(0, ScaleClass::None), 0.0);
+}
+
+TEST(CostModel, TransferPathOrdering) {
+  CostModel cm(a100_40gb());
+  const i64 mb = 1 << 20;
+  // NVLink P2P beats host-staged for the same payload.
+  EXPECT_LT(cm.p2p_transfer_time(mb, ScaleClass::None),
+            cm.um_migration_time(mb, ScaleClass::None));
+  // Device-local copies are fastest.
+  EXPECT_LT(cm.local_copy_time(mb, ScaleClass::None),
+            cm.p2p_transfer_time(mb, ScaleClass::None));
+}
+
+TEST(UnifiedPages, TouchSemantics) {
+  UnifiedPages um;
+  um.add_array(1, 1000);
+  EXPECT_EQ(um.touch_device(1, 600), 600);  // first touch migrates
+  EXPECT_EQ(um.touch_device(1, 600), 0);    // already resident
+  EXPECT_EQ(um.touch_device(1, 1000), 400); // remainder migrates
+  EXPECT_EQ(um.device_resident_bytes(), 1000);
+  EXPECT_EQ(um.touch_host(1, 300), 300);    // pages back out
+  EXPECT_EQ(um.device_resident_bytes(), 700);
+  EXPECT_EQ(um.touch_device(1, 1000), 300);
+  um.remove_array(1);
+  EXPECT_EQ(um.device_resident_bytes(), 0);
+  EXPECT_EQ(um.touch_device(1, 100), 0);  // unknown array: no-op
+}
+
+TEST(UnifiedPages, TouchClampsToArraySize) {
+  UnifiedPages um;
+  um.add_array(2, 100);
+  EXPECT_EQ(um.touch_device(2, 1 << 20), 100);
+  EXPECT_EQ(um.stats().h2d_bytes, 100);
+}
+
+TEST(MemoryManager, ManualModeTracksResidencyAndStats) {
+  CostModel cm(a100_40gb());
+  ClockLedger ledger;
+  MemoryManager mm(MemoryMode::Manual, &cm, &ledger);
+  const auto id = mm.register_array("x", 4096);
+  EXPECT_FALSE(mm.device_direct_eligible(id));
+  mm.enter_data(id);
+  EXPECT_TRUE(mm.device_direct_eligible(id));
+  mm.enter_data(id);  // idempotent
+  EXPECT_EQ(mm.stats().enter_data_calls, 1);
+  mm.update_host(id);
+  mm.update_device(id);
+  EXPECT_EQ(mm.stats().update_host_calls, 1);
+  EXPECT_EQ(mm.stats().update_device_calls, 1);
+  mm.exit_data(id);
+  EXPECT_FALSE(mm.device_direct_eligible(id));
+  EXPECT_GT(ledger.now(), 0.0);
+}
+
+TEST(MemoryManager, UnifiedModeChargesMigrations) {
+  CostModel cm(a100_40gb());
+  ClockLedger ledger;
+  MemoryManager mm(MemoryMode::Unified, &cm, &ledger);
+  const auto id = mm.register_array("x", 1 << 22);
+  EXPECT_FALSE(mm.device_direct_eligible(id));  // UM never P2P-eligible
+  mm.enter_data(id);                            // no-op under UM
+  EXPECT_EQ(mm.stats().enter_data_calls, 0);
+  const double t0 = ledger.now();
+  EXPECT_GT(mm.on_device_access(id, 1 << 22, TimeCategory::DataMotion), 0);
+  EXPECT_GT(ledger.now(), t0);
+  EXPECT_EQ(mm.on_device_access(id, 1 << 22, TimeCategory::DataMotion), 0);
+  EXPECT_GT(mm.on_host_access(id, 1 << 22, TimeCategory::Mpi), 0);
+  EXPECT_GT(ledger.mpi_time(), 0.0);
+}
+
+TEST(MemoryManager, HostOnlyModeIsFree) {
+  CostModel cm(epyc7742_node());
+  ClockLedger ledger;
+  MemoryManager mm(MemoryMode::HostOnly, &cm, &ledger);
+  const auto id = mm.register_array("x", 1 << 22);
+  mm.enter_data(id);
+  mm.update_device(id);
+  EXPECT_EQ(mm.on_device_access(id, 1 << 22, TimeCategory::DataMotion), 0);
+  EXPECT_DOUBLE_EQ(ledger.now(), 0.0);
+}
+
+TEST(MemoryManager, UnknownArrayThrows) {
+  CostModel cm(a100_40gb());
+  ClockLedger ledger;
+  MemoryManager mm(MemoryMode::Manual, &cm, &ledger);
+  EXPECT_THROW(mm.enter_data(1234), std::logic_error);
+}
+
+}  // namespace
+}  // namespace simas::gpusim

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "field/field.hpp"
+#include "mpisim/comm.hpp"
+#include "mpisim/decomposition.hpp"
+#include "mpisim/halo.hpp"
+#include "variants/code_version.hpp"
+
+namespace simas::mpisim {
+namespace {
+
+par::EngineConfig manual_gpu() {
+  par::EngineConfig cfg;
+  cfg.loops = par::LoopModel::Acc;
+  cfg.memory = gpusim::MemoryMode::Manual;
+  cfg.gpu = true;
+  return cfg;
+}
+
+TEST(Decomposition, CoversAllCellsContiguously) {
+  for (const idx nr : {7, 8, 24, 33}) {
+    for (const int nranks : {1, 2, 3, 4, 7}) {
+      if (static_cast<idx>(nranks) > nr) continue;
+      idx covered = 0;
+      idx prev_end = 0;
+      for (int r = 0; r < nranks; ++r) {
+        const Slab s = radial_slab(nr, nranks, r);
+        EXPECT_EQ(s.ilo, prev_end);
+        EXPECT_GT(s.n(), 0);
+        prev_end = s.ihi;
+        covered += s.n();
+        EXPECT_EQ(s.rank_below, r == 0 ? -1 : r - 1);
+        EXPECT_EQ(s.rank_above, r == nranks - 1 ? -1 : r + 1);
+      }
+      EXPECT_EQ(covered, nr);
+      EXPECT_EQ(prev_end, nr);
+    }
+  }
+}
+
+TEST(Decomposition, BalancedWithinOneCell) {
+  const Slab a = radial_slab(10, 3, 0);
+  const Slab b = radial_slab(10, 3, 1);
+  const Slab c = radial_slab(10, 3, 2);
+  EXPECT_LE(a.n() - c.n(), 1);
+  EXPECT_GE(a.n(), b.n());
+}
+
+TEST(Decomposition, RejectsBadArguments) {
+  EXPECT_THROW(radial_slab(4, 0, 0), std::invalid_argument);
+  EXPECT_THROW(radial_slab(4, 2, 2), std::invalid_argument);
+  EXPECT_THROW(radial_slab(4, 5, 0), std::invalid_argument);
+}
+
+TEST(World, RunsAllRanksAndPropagatesExceptions) {
+  World world(4);
+  std::vector<int> hit(4, 0);
+  world.run([&](int r) { hit[static_cast<std::size_t>(r)] = 1; });
+  EXPECT_EQ(std::accumulate(hit.begin(), hit.end(), 0), 4);
+
+  World world2(2);
+  EXPECT_THROW(world2.run([&](int r) {
+    if (r == 1) throw std::runtime_error("rank failure");
+  }),
+               std::runtime_error);
+}
+
+TEST(Comm, SendRecvDeliversPayload) {
+  World world(2);
+  world.run([&](int rank) {
+    par::Engine eng(manual_gpu());
+    Comm comm(world, rank, eng);
+    const auto buf = eng.memory().register_array(
+        "buf", 64 * 8, gpusim::ScaleClass::Surface);
+    eng.memory().enter_data(buf);
+    if (rank == 0) {
+      std::vector<real> data(64);
+      for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<real>(i) * 1.5;
+      comm.send(1, 7, data, buf);
+    } else {
+      std::vector<real> data(64, 0.0);
+      comm.recv(0, 7, data, buf);
+      for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_DOUBLE_EQ(data[i], static_cast<real>(i) * 1.5);
+    }
+  });
+}
+
+TEST(Comm, RecvWaitsForSenderModeledClock) {
+  World world(2);
+  double receiver_wait = -1.0;
+  world.run([&](int rank) {
+    par::Engine eng(manual_gpu());
+    Comm comm(world, rank, eng);
+    const auto buf = eng.memory().register_array(
+        "buf", 8 * 8, gpusim::ScaleClass::Surface);
+    eng.memory().enter_data(buf);
+    std::vector<real> data(8, 1.0);
+    if (rank == 0) {
+      // Sender is "busy" for 1 modeled second before sending.
+      eng.ledger().advance(1.0, gpusim::TimeCategory::Compute);
+      comm.send(1, 1, data, buf);
+    } else {
+      comm.recv(0, 1, data, buf);
+      receiver_wait = eng.ledger().mpi_time();
+      EXPECT_GE(eng.ledger().now(), 1.0);  // synced past the sender's clock
+    }
+  });
+  EXPECT_GE(receiver_wait, 1.0);  // load-imbalance wait counted as MPI
+}
+
+TEST(Comm, SelfSendRecvWorks) {
+  World world(1);
+  world.run([&](int rank) {
+    par::Engine eng(manual_gpu());
+    Comm comm(world, rank, eng);
+    const auto buf = eng.memory().register_array(
+        "buf", 16 * 8, gpusim::ScaleClass::Surface);
+    eng.memory().enter_data(buf);
+    std::vector<real> data(16, 3.0);
+    comm.send(0, 2, data, buf);
+    std::vector<real> got(16, 0.0);
+    comm.recv(0, 2, got, buf);
+    EXPECT_DOUBLE_EQ(got[5], 3.0);
+    EXPECT_GT(eng.ledger().mpi_time(), 0.0);
+  });
+}
+
+TEST(Comm, AllreduceSumAndMaxAreExactAndSynchronizing) {
+  for (const int nranks : {1, 2, 3, 5, 8}) {
+    World world(nranks);
+    world.run([&](int rank) {
+      par::Engine eng(manual_gpu());
+      Comm comm(world, rank, eng);
+      // Unequal work before the collective.
+      eng.ledger().advance(0.1 * rank, gpusim::TimeCategory::Compute);
+      const double s = comm.allreduce_sum(static_cast<double>(rank + 1));
+      EXPECT_DOUBLE_EQ(s, nranks * (nranks + 1) / 2.0);
+      const double m = comm.allreduce_max(static_cast<double>(rank));
+      EXPECT_DOUBLE_EQ(m, nranks - 1.0);
+      // Every rank's clock must be past the slowest participant's arrival.
+      EXPECT_GE(eng.ledger().now(), 0.1 * (nranks - 1));
+    });
+  }
+}
+
+TEST(Comm, UnifiedMemoryStagesThroughHost) {
+  World world(2);
+  world.run([&](int rank) {
+    par::EngineConfig cfg = manual_gpu();
+    cfg.memory = gpusim::MemoryMode::Unified;
+    cfg.loops = par::LoopModel::Dc2x;
+    par::Engine eng(cfg);
+    Comm comm(world, rank, eng);
+    const auto buf = eng.memory().register_array(
+        "buf", 1 << 16, gpusim::ScaleClass::Surface);
+    // Touch on device so the send must page it back out.
+    eng.memory().on_device_access(buf, 1 << 16,
+                                  gpusim::TimeCategory::DataMotion);
+    std::vector<real> data((1 << 16) / 8, 1.0);
+    if (rank == 0) {
+      comm.send(1, 3, data, buf);
+      EXPECT_GT(eng.memory().um_stats().d2h_bytes, 0);  // paged out to send
+    } else {
+      comm.recv(0, 3, data, buf);
+      EXPECT_GT(eng.ledger().mpi_time(), 0.0);
+    }
+  });
+}
+
+TEST(Comm, ManualDeviceBuffersGoPeerToPeer) {
+  World world(2);
+  std::vector<double> mpi_time(2, 0.0);
+  world.run([&](int rank) {
+    par::Engine eng(manual_gpu());
+    Comm comm(world, rank, eng);
+    const auto buf = eng.memory().register_array(
+        "buf", 1 << 16, gpusim::ScaleClass::Surface);
+    eng.memory().enter_data(buf);
+    EXPECT_TRUE(eng.memory().device_direct_eligible(buf));
+    std::vector<real> data((1 << 16) / 8, 1.0);
+    if (rank == 0) comm.send(1, 4, data, buf);
+    if (rank == 1) comm.recv(0, 4, data, buf);
+    mpi_time[static_cast<std::size_t>(rank)] = eng.ledger().mpi_time();
+  });
+  // The sender paid a P2P transfer; no UM migration costs anywhere.
+  EXPECT_GT(mpi_time[0], 0.0);
+}
+
+class HaloRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HaloRoundTrip, ExchangeRMovesBoundaryPlanes) {
+  const int nranks = GetParam();
+  const idx nr = 12, nt = 5, np = 6;
+  World world(nranks);
+  world.run([&](int rank) {
+    par::Engine eng(manual_gpu());
+    Comm comm(world, rank, eng);
+    const Slab slab = radial_slab(nr, nranks, rank);
+    HaloExchanger halo(eng, comm, slab, slab.n(), nt, np);
+    field::Field f(eng, "f", slab.n(), nt, np, 1);
+    // Fill with globally identifiable values.
+    for (idx i = 0; i < slab.n(); ++i)
+      for (idx j = 0; j < nt; ++j)
+        for (idx k = 0; k < np; ++k)
+          f(i, j, k) = static_cast<real>((slab.ilo + i) * 10000 + j * 100 + k);
+    halo.exchange_r({&f});
+    if (slab.rank_below >= 0) {
+      EXPECT_DOUBLE_EQ(f(-1, 2, 3),
+                       static_cast<real>((slab.ilo - 1) * 10000 + 203));
+    }
+    if (slab.rank_above >= 0) {
+      EXPECT_DOUBLE_EQ(f(slab.n(), 1, 4),
+                       static_cast<real>((slab.ihi) * 10000 + 104));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, HaloRoundTrip,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Halo, WrapPhiIsPeriodic) {
+  World world(1);
+  world.run([&](int rank) {
+    par::Engine eng(manual_gpu());
+    Comm comm(world, rank, eng);
+    const Slab slab = radial_slab(4, 1, 0);
+    HaloExchanger halo(eng, comm, slab, 4, 3, 5);
+    field::Field f(eng, "f", 4, 3, 5, 1);
+    for (idx i = 0; i < 4; ++i)
+      for (idx j = 0; j < 3; ++j)
+        for (idx k = 0; k < 5; ++k) f(i, j, k) = 100.0 * i + 10.0 * j + k;
+    halo.wrap_phi({&f});
+    for (idx i = 0; i < 4; ++i)
+      for (idx j = 0; j < 3; ++j) {
+        EXPECT_DOUBLE_EQ(f(i, j, -1), f(i, j, 4));   // ghost -1 = plane np-1
+        EXPECT_DOUBLE_EQ(f(i, j, 5), f(i, j, 0));    // ghost np = plane 0
+      }
+  });
+}
+
+TEST(Halo, RejectsTooManyFields) {
+  World world(1);
+  world.run([&](int rank) {
+    par::Engine eng(manual_gpu());
+    Comm comm(world, rank, eng);
+    const Slab slab = radial_slab(4, 1, 0);
+    HaloExchanger halo(eng, comm, slab, 4, 3, 5, /*max_fields=*/2);
+    field::Field a(eng, "a", 4, 3, 5, 1);
+    field::Field b(eng, "b", 4, 3, 5, 1);
+    field::Field c(eng, "c", 4, 3, 5, 1);
+    EXPECT_THROW(halo.exchange_r({&a, &b, &c}), std::invalid_argument);
+    EXPECT_THROW(halo.wrap_phi({&a, &b, &c}), std::invalid_argument);
+  });
+}
+
+}  // namespace
+}  // namespace simas::mpisim

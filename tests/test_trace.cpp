@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace.hpp"
+
+namespace simas::trace {
+namespace {
+
+TEST(Recorder, DisabledByDefault) {
+  Recorder r;
+  r.record(0.0, 1.0, Lane::Kernel, "k");
+  EXPECT_TRUE(r.events().empty());
+}
+
+TEST(Recorder, RecordsWhenEnabledAndDropsEmptyIntervals) {
+  Recorder r;
+  r.enable(true);
+  r.record(0.0, 1.0, Lane::Kernel, "k1");
+  r.record(2.0, 2.0, Lane::Kernel, "zero-length");  // dropped
+  r.record(3.0, 2.0, Lane::Kernel, "negative");     // dropped
+  ASSERT_EQ(r.events().size(), 1u);
+  EXPECT_EQ(r.events()[0].name, "k1");
+}
+
+TEST(Recorder, LaneBusyClipsToWindow) {
+  Recorder r;
+  r.enable(true);
+  r.record(0.0, 2.0, Lane::Kernel, "a");
+  r.record(5.0, 6.0, Lane::Kernel, "b");
+  r.record(0.5, 1.0, Lane::Migration, "m");
+  EXPECT_DOUBLE_EQ(r.lane_busy(Lane::Kernel, 1.0, 5.5), 1.5);  // 1-2 + 5-5.5
+  EXPECT_DOUBLE_EQ(r.lane_busy(Lane::Migration, 0.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(r.lane_busy(Lane::Transfer, 0.0, 10.0), 0.0);
+}
+
+TEST(Recorder, AsciiRenderMarksBusyCells) {
+  Recorder r;
+  r.enable(true);
+  r.record(0.0, 0.5, Lane::Kernel, "k");
+  std::ostringstream os;
+  r.render_ascii(os, 0.0, 1.0, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("kernels"), std::string::npos);
+  EXPECT_NE(out.find("#####"), std::string::npos);  // first half busy
+  EXPECT_NE(out.find("um-migration"), std::string::npos);
+}
+
+TEST(Recorder, CsvRoundTripFormat) {
+  Recorder r;
+  r.enable(true);
+  r.record(0.25, 1.5, Lane::Transfer, "send->3");
+  std::ostringstream os;
+  r.write_csv(os);
+  EXPECT_EQ(os.str(), "t0,t1,lane,name\n0.25,1.5,transfer,send->3\n");
+}
+
+TEST(Recorder, ClearEmptiesEvents) {
+  Recorder r;
+  r.enable(true);
+  r.record(0.0, 1.0, Lane::MpiWait, "w");
+  r.clear();
+  EXPECT_TRUE(r.events().empty());
+}
+
+}  // namespace
+}  // namespace simas::trace
