@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sts.dir/bench_ablation_sts.cpp.o"
+  "CMakeFiles/bench_ablation_sts.dir/bench_ablation_sts.cpp.o.d"
+  "bench_ablation_sts"
+  "bench_ablation_sts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

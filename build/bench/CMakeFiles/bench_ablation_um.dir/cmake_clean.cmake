@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_um.dir/bench_ablation_um.cpp.o"
+  "CMakeFiles/bench_ablation_um.dir/bench_ablation_um.cpp.o.d"
+  "bench_ablation_um"
+  "bench_ablation_um.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_um.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_micro.dir/bench_stream_micro.cpp.o"
+  "CMakeFiles/bench_stream_micro.dir/bench_stream_micro.cpp.o.d"
+  "bench_stream_micro"
+  "bench_stream_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_versions.dir/bench_table1_versions.cpp.o"
+  "CMakeFiles/bench_table1_versions.dir/bench_table1_versions.cpp.o.d"
+  "bench_table1_versions"
+  "bench_table1_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

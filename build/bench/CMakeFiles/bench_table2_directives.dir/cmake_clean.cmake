@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_directives.dir/bench_table2_directives.cpp.o"
+  "CMakeFiles/bench_table2_directives.dir/bench_table2_directives.cpp.o.d"
+  "bench_table2_directives"
+  "bench_table2_directives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_directives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cme_eruption.dir/cme_eruption.cpp.o"
+  "CMakeFiles/cme_eruption.dir/cme_eruption.cpp.o.d"
+  "cme_eruption"
+  "cme_eruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cme_eruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cme_eruption.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coronal_relaxation.dir/coronal_relaxation.cpp.o"
+  "CMakeFiles/coronal_relaxation.dir/coronal_relaxation.cpp.o.d"
+  "coronal_relaxation"
+  "coronal_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coronal_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

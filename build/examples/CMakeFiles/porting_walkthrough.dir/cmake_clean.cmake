@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porting_walkthrough.dir/porting_walkthrough.cpp.o"
+  "CMakeFiles/porting_walkthrough.dir/porting_walkthrough.cpp.o.d"
+  "porting_walkthrough"
+  "porting_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porting_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_corona.dir/visualize_corona.cpp.o"
+  "CMakeFiles/visualize_corona.dir/visualize_corona.cpp.o.d"
+  "visualize_corona"
+  "visualize_corona.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_corona.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

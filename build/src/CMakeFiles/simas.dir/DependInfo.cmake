@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_support/paper_scale.cpp" "src/CMakeFiles/simas.dir/bench_support/paper_scale.cpp.o" "gcc" "src/CMakeFiles/simas.dir/bench_support/paper_scale.cpp.o.d"
+  "/root/repo/src/bench_support/run_experiment.cpp" "src/CMakeFiles/simas.dir/bench_support/run_experiment.cpp.o" "gcc" "src/CMakeFiles/simas.dir/bench_support/run_experiment.cpp.o.d"
+  "/root/repo/src/field/array3.cpp" "src/CMakeFiles/simas.dir/field/array3.cpp.o" "gcc" "src/CMakeFiles/simas.dir/field/array3.cpp.o.d"
+  "/root/repo/src/field/field.cpp" "src/CMakeFiles/simas.dir/field/field.cpp.o" "gcc" "src/CMakeFiles/simas.dir/field/field.cpp.o.d"
+  "/root/repo/src/gpusim/clock_ledger.cpp" "src/CMakeFiles/simas.dir/gpusim/clock_ledger.cpp.o" "gcc" "src/CMakeFiles/simas.dir/gpusim/clock_ledger.cpp.o.d"
+  "/root/repo/src/gpusim/cost_model.cpp" "src/CMakeFiles/simas.dir/gpusim/cost_model.cpp.o" "gcc" "src/CMakeFiles/simas.dir/gpusim/cost_model.cpp.o.d"
+  "/root/repo/src/gpusim/device_select.cpp" "src/CMakeFiles/simas.dir/gpusim/device_select.cpp.o" "gcc" "src/CMakeFiles/simas.dir/gpusim/device_select.cpp.o.d"
+  "/root/repo/src/gpusim/device_spec.cpp" "src/CMakeFiles/simas.dir/gpusim/device_spec.cpp.o" "gcc" "src/CMakeFiles/simas.dir/gpusim/device_spec.cpp.o.d"
+  "/root/repo/src/gpusim/memory_manager.cpp" "src/CMakeFiles/simas.dir/gpusim/memory_manager.cpp.o" "gcc" "src/CMakeFiles/simas.dir/gpusim/memory_manager.cpp.o.d"
+  "/root/repo/src/gpusim/unified_pages.cpp" "src/CMakeFiles/simas.dir/gpusim/unified_pages.cpp.o" "gcc" "src/CMakeFiles/simas.dir/gpusim/unified_pages.cpp.o.d"
+  "/root/repo/src/grid/spherical_grid.cpp" "src/CMakeFiles/simas.dir/grid/spherical_grid.cpp.o" "gcc" "src/CMakeFiles/simas.dir/grid/spherical_grid.cpp.o.d"
+  "/root/repo/src/grid/stretching.cpp" "src/CMakeFiles/simas.dir/grid/stretching.cpp.o" "gcc" "src/CMakeFiles/simas.dir/grid/stretching.cpp.o.d"
+  "/root/repo/src/mhd/advection.cpp" "src/CMakeFiles/simas.dir/mhd/advection.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mhd/advection.cpp.o.d"
+  "/root/repo/src/mhd/boundary.cpp" "src/CMakeFiles/simas.dir/mhd/boundary.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mhd/boundary.cpp.o.d"
+  "/root/repo/src/mhd/cfl.cpp" "src/CMakeFiles/simas.dir/mhd/cfl.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mhd/cfl.cpp.o.d"
+  "/root/repo/src/mhd/checkpoint.cpp" "src/CMakeFiles/simas.dir/mhd/checkpoint.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mhd/checkpoint.cpp.o.d"
+  "/root/repo/src/mhd/conduction.cpp" "src/CMakeFiles/simas.dir/mhd/conduction.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mhd/conduction.cpp.o.d"
+  "/root/repo/src/mhd/diagnostics.cpp" "src/CMakeFiles/simas.dir/mhd/diagnostics.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mhd/diagnostics.cpp.o.d"
+  "/root/repo/src/mhd/eos.cpp" "src/CMakeFiles/simas.dir/mhd/eos.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mhd/eos.cpp.o.d"
+  "/root/repo/src/mhd/lorentz.cpp" "src/CMakeFiles/simas.dir/mhd/lorentz.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mhd/lorentz.cpp.o.d"
+  "/root/repo/src/mhd/pfss.cpp" "src/CMakeFiles/simas.dir/mhd/pfss.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mhd/pfss.cpp.o.d"
+  "/root/repo/src/mhd/resistive.cpp" "src/CMakeFiles/simas.dir/mhd/resistive.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mhd/resistive.cpp.o.d"
+  "/root/repo/src/mhd/solver.cpp" "src/CMakeFiles/simas.dir/mhd/solver.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mhd/solver.cpp.o.d"
+  "/root/repo/src/mhd/source_terms.cpp" "src/CMakeFiles/simas.dir/mhd/source_terms.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mhd/source_terms.cpp.o.d"
+  "/root/repo/src/mhd/state.cpp" "src/CMakeFiles/simas.dir/mhd/state.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mhd/state.cpp.o.d"
+  "/root/repo/src/mhd/viscosity.cpp" "src/CMakeFiles/simas.dir/mhd/viscosity.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mhd/viscosity.cpp.o.d"
+  "/root/repo/src/mpisim/comm.cpp" "src/CMakeFiles/simas.dir/mpisim/comm.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mpisim/comm.cpp.o.d"
+  "/root/repo/src/mpisim/decomposition.cpp" "src/CMakeFiles/simas.dir/mpisim/decomposition.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mpisim/decomposition.cpp.o.d"
+  "/root/repo/src/mpisim/halo.cpp" "src/CMakeFiles/simas.dir/mpisim/halo.cpp.o" "gcc" "src/CMakeFiles/simas.dir/mpisim/halo.cpp.o.d"
+  "/root/repo/src/par/engine.cpp" "src/CMakeFiles/simas.dir/par/engine.cpp.o" "gcc" "src/CMakeFiles/simas.dir/par/engine.cpp.o.d"
+  "/root/repo/src/par/site_registry.cpp" "src/CMakeFiles/simas.dir/par/site_registry.cpp.o" "gcc" "src/CMakeFiles/simas.dir/par/site_registry.cpp.o.d"
+  "/root/repo/src/par/thread_pool.cpp" "src/CMakeFiles/simas.dir/par/thread_pool.cpp.o" "gcc" "src/CMakeFiles/simas.dir/par/thread_pool.cpp.o.d"
+  "/root/repo/src/solvers/pcg.cpp" "src/CMakeFiles/simas.dir/solvers/pcg.cpp.o" "gcc" "src/CMakeFiles/simas.dir/solvers/pcg.cpp.o.d"
+  "/root/repo/src/solvers/sts.cpp" "src/CMakeFiles/simas.dir/solvers/sts.cpp.o" "gcc" "src/CMakeFiles/simas.dir/solvers/sts.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/simas.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/simas.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/simas.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/simas.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/simas.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/simas.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/ppm.cpp" "src/CMakeFiles/simas.dir/util/ppm.cpp.o" "gcc" "src/CMakeFiles/simas.dir/util/ppm.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/simas.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/simas.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/simas.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/simas.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/simas.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/simas.dir/util/timer.cpp.o.d"
+  "/root/repo/src/variants/code_version.cpp" "src/CMakeFiles/simas.dir/variants/code_version.cpp.o" "gcc" "src/CMakeFiles/simas.dir/variants/code_version.cpp.o.d"
+  "/root/repo/src/variants/directive_model.cpp" "src/CMakeFiles/simas.dir/variants/directive_model.cpp.o" "gcc" "src/CMakeFiles/simas.dir/variants/directive_model.cpp.o.d"
+  "/root/repo/src/variants/inventory.cpp" "src/CMakeFiles/simas.dir/variants/inventory.cpp.o" "gcc" "src/CMakeFiles/simas.dir/variants/inventory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_variant.dir/test_cross_variant.cpp.o"
+  "CMakeFiles/test_cross_variant.dir/test_cross_variant.cpp.o.d"
+  "test_cross_variant"
+  "test_cross_variant.pdb"
+  "test_cross_variant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

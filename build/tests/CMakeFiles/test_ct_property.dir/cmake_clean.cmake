@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ct_property.dir/test_ct_property.cpp.o"
+  "CMakeFiles/test_ct_property.dir/test_ct_property.cpp.o.d"
+  "test_ct_property"
+  "test_ct_property.pdb"
+  "test_ct_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ct_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

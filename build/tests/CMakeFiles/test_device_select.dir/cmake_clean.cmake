@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_select.dir/test_device_select.cpp.o"
+  "CMakeFiles/test_device_select.dir/test_device_select.cpp.o.d"
+  "test_device_select"
+  "test_device_select.pdb"
+  "test_device_select[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halo_staggered.dir/test_halo_staggered.cpp.o"
+  "CMakeFiles/test_halo_staggered.dir/test_halo_staggered.cpp.o.d"
+  "test_halo_staggered"
+  "test_halo_staggered.pdb"
+  "test_halo_staggered[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halo_staggered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfss.dir/test_pfss.cpp.o"
+  "CMakeFiles/test_pfss.dir/test_pfss.cpp.o.d"
+  "test_pfss"
+  "test_pfss.pdb"
+  "test_pfss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

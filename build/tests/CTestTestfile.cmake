@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_par[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_mpisim[1]_include.cmake")
+include("/root/repo/build/tests/test_grid_field[1]_include.cmake")
+include("/root/repo/build/tests/test_solvers[1]_include.cmake")
+include("/root/repo/build/tests/test_mhd[1]_include.cmake")
+include("/root/repo/build/tests/test_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_variant[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shape[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_pfss[1]_include.cmake")
+include("/root/repo/build/tests/test_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_device_select[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_accounting[1]_include.cmake")
+include("/root/repo/build/tests/test_bench_support[1]_include.cmake")
+include("/root/repo/build/tests/test_ct_property[1]_include.cmake")
+include("/root/repo/build/tests/test_halo_staggered[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
