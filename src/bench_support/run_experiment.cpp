@@ -43,8 +43,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   mpisim::World world(cfg.nranks);
   world.run([&](int rank) {
-    par::Engine engine(variants::engine_config(cfg.version, cfg.device,
-                                               threads_per_rank));
+    par::EngineConfig ecfg =
+        variants::engine_config(cfg.version, cfg.device, threads_per_rank);
+    ecfg.graph_replay = cfg.graph_replay;
+    par::Engine engine(ecfg);
     engine.cost().set_scales(vol_scale, surf_scale);
     engine.cost().set_working_set_shrink(static_cast<double>(cfg.nranks));
 
@@ -59,6 +61,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
     const double t0 = engine.ledger().now();
     const double mpi0 = engine.ledger().mpi_time();
+    const double gap0 =
+        engine.ledger().total(gpusim::TimeCategory::LaunchGap);
     if (cfg.capture_trace && rank == 0) engine.tracer().enable(true);
     for (int s = 0; s < cfg.measure_steps; ++s) solver.step();
     if (cfg.capture_trace && rank == 0) engine.tracer().enable(false);
@@ -70,7 +74,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     RankTiming timing;
     timing.seconds_per_step = dt_step;
     timing.mpi_seconds_per_step = dt_mpi;
+    timing.launch_gap_seconds_per_step =
+        (engine.ledger().total(gpusim::TimeCategory::LaunchGap) - gap0) /
+        cfg.measure_steps;
     timing.counters = engine.counters();
+    timing.graph = engine.graph_stats();
 
     const auto diag = solver.diagnostics();
 

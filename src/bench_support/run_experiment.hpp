@@ -27,12 +27,20 @@ struct ExperimentConfig {
   PaperScale scale;
   int host_threads_total = 0;   ///< 0 = auto (hardware / nranks)
   bool capture_trace = false;   ///< record rank 0's timeline
+  /// CUDA-Graph-style capture/replay of the PCG inner iterations
+  /// (EngineConfig::graph_replay). Warmup steps capture; measured steps
+  /// replay.
+  bool graph_replay = false;
 };
 
 struct RankTiming {
   double seconds_per_step = 0.0;  ///< modeled, paper-scale
   double mpi_seconds_per_step = 0.0;
+  /// Launch-overhead + UM-gap time per step (TimeCategory::LaunchGap),
+  /// the quantity graph replay amortizes.
+  double launch_gap_seconds_per_step = 0.0;
   par::EngineCounters counters;
+  par::GraphStats graph;
 };
 
 struct ExperimentResult {

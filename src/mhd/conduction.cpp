@@ -160,7 +160,7 @@ int conduction_update(MhdContext& c, real dt) {
                        st.rho(i, j, k) / gm1 * st.temp(i, j, k);
                  });
 
-  solvers::Pcg pcg(c.eng, c.comm, lg);
+  solvers::Pcg pcg(c.eng, c.comm, lg, "conduction");
   solvers::PcgSystem sys;
   sys.x = {&st.temp};
   sys.b = {&st.wrk1};

@@ -138,7 +138,7 @@ PfssResult pfss_initialize(MhdContext& c, const SurfaceBrFn& surface_br,
                    });
   };
 
-  solvers::Pcg pcg(c.eng, c.comm, lg);
+  solvers::Pcg pcg(c.eng, c.comm, lg, "pfss");
   solvers::PcgSystem sys;
   sys.x = {&phi};
   sys.b = {&rhs};

@@ -67,7 +67,7 @@ int viscous_update(MhdContext& c, real dt) {
   static const par::KernelSite& site_rhs =
       SIMAS_SITE("visc_build_rhs", SiteKind::ParallelLoop, 52);
 
-  solvers::Pcg pcg(c.eng, c.comm, lg);
+  solvers::Pcg pcg(c.eng, c.comm, lg, "viscosity");
 
   auto apply = [&](const solvers::Pcg::Fields& x,
                    const solvers::Pcg::Fields& y) {

@@ -1,17 +1,9 @@
 #include "par/engine.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace simas::par {
-
-const char* loop_model_name(LoopModel m) {
-  switch (m) {
-    case LoopModel::Acc: return "acc";
-    case LoopModel::Dc2018: return "dc2018";
-    case LoopModel::Dc2x: return "dc2x";
-  }
-  return "?";
-}
 
 Engine::Engine(EngineConfig cfg)
     : cfg_(cfg),
@@ -28,9 +20,14 @@ Engine::Engine(EngineConfig cfg)
     // regions (paper Sec. V-C).
     cost_.set_dc_bw_penalty(0.985);
   }
+  sched_ = make_scheduler(
+      cfg_.loops,
+      SchedulerContext{&cfg_, &cost_, &ledger_, &mem_, &tracer_, &counters_});
 }
 
-gpusim::ScaleClass Engine::kernel_scale(
+Engine::~Engine() = default;
+
+gpusim::ScaleClass Engine::resolve_scale(
     const KernelSite& site, std::initializer_list<Access> acc) const {
   if (site.surface_scaled) return gpusim::ScaleClass::Surface;
   for (const Access& a : acc) {
@@ -40,102 +37,133 @@ gpusim::ScaleClass Engine::kernel_scale(
   return gpusim::ScaleClass::Volume;
 }
 
-void Engine::charge_launch_and_bytes(const KernelSite& site, i64 bytes,
-                                     gpusim::ScaleClass scale, bool fused,
-                                     bool async, double extra_traffic_factor) {
-  const bool unified = mem_.unified() && cfg_.gpu;
-  const double t0 = ledger_.now();
-  ledger_.advance(cost_.launch_time(fused, async, unified),
-                  gpusim::TimeCategory::LaunchGap);
-  const double traffic =
-      cost_.kernel_time(bytes, scale) *
-      extra_traffic_factor;
-  ledger_.advance(traffic, kernel_category_);
-  counters_.bytes_touched += bytes;
-  if (tracer_.enabled())
-    tracer_.record(t0, ledger_.now(), trace::Lane::Kernel, site.name);
+void Engine::record_launch(const KernelSite& site, i64 cells,
+                           std::initializer_list<Access> acc) {
+  LaunchOp op;
+  op.site = &site;
+  op.cells = cells;
+  op.accesses.assign(acc.begin(), acc.end());
+  op.scale = resolve_scale(site, acc);
+  op.category = kernel_category_;
+  submit(StreamOp{std::move(op)});
 }
 
-void Engine::account_kernel(const KernelSite& site, idx cells,
-                            std::initializer_list<Access> acc) {
-  counters_.loops_executed++;
-  i64 bytes = 0;
-  for (const Access& a : acc) {
-    const i64 touched = std::min<i64>(cells * static_cast<i64>(sizeof(real)),
-                                      mem_.record(a.id).bytes);
-    bytes += touched;
-    if (cfg_.gpu)
-      mem_.on_device_access(a.id, touched, gpusim::TimeCategory::DataMotion);
-  }
-
-  // Kernel fusion: only the ACC model merges consecutive same-group loops.
-  bool fused = false;
-  if (cfg_.gpu && cfg_.loops == LoopModel::Acc && cfg_.fusion_enabled &&
-      site.fusion_group != 0 && site.fusion_group == last_fusion_group_) {
-    fused = true;
-    counters_.fused_launches++;
-  }
-  last_fusion_group_ = site.fusion_group;
-  if (!fused) counters_.kernel_launches++;
-
-  const bool async = cfg_.gpu && cfg_.loops == LoopModel::Acc &&
-                     cfg_.async_enabled && site.async_capable;
-  charge_launch_and_bytes(site, bytes, kernel_scale(site, acc), fused, async,
-                          1.0 + cfg_.wrapper_init_overhead);
+void Engine::record_reduce(const KernelSite& site, i64 cells,
+                           std::initializer_list<Access> acc) {
+  ReduceOp op;
+  op.site = &site;
+  op.cells = cells;
+  op.accesses.assign(acc.begin(), acc.end());
+  op.scale = resolve_scale(site, acc);
+  op.category = kernel_category_;
+  submit(StreamOp{std::move(op)});
 }
 
-void Engine::account_reduction(const KernelSite& site, idx cells,
-                               std::initializer_list<Access> acc) {
-  counters_.loops_executed++;
-  counters_.reduction_loops++;
-  counters_.kernel_launches++;
-  break_fusion();  // reductions synchronize; they never fuse
-  i64 bytes = 0;
-  for (const Access& a : acc) {
-    const i64 touched = std::min<i64>(cells * static_cast<i64>(sizeof(real)),
-                                      mem_.record(a.id).bytes);
-    bytes += touched;
-    if (cfg_.gpu)
-      mem_.on_device_access(a.id, touched, gpusim::TimeCategory::DataMotion);
-  }
-  // Reductions are synchronous under every model (the DC reduce clause and
-  // the OpenACC reduction clause both imply a result dependency).
-  charge_launch_and_bytes(site, bytes, kernel_scale(site, acc),
-                          /*fused=*/false, /*async=*/false, 1.0);
+void Engine::record_array_reduce(const KernelSite& site, i64 cells,
+                                 std::initializer_list<Access> acc) {
+  ArrayReduceOp op;
+  op.site = &site;
+  op.cells = cells;
+  op.accesses.assign(acc.begin(), acc.end());
+  op.scale = resolve_scale(site, acc);
+  op.category = kernel_category_;
+  submit(StreamOp{std::move(op)});
 }
 
-void Engine::account_array_reduction(const KernelSite& site, Range3 r,
-                                     std::initializer_list<Access> acc) {
-  counters_.loops_executed++;
-  counters_.reduction_loops++;
-  counters_.kernel_launches++;
-  break_fusion();
-  i64 bytes = 0;
-  for (const Access& a : acc) {
-    const i64 touched =
-        std::min<i64>(r.count() * static_cast<i64>(sizeof(real)),
-                      mem_.record(a.id).bytes);
-    bytes += touched;
-    if (cfg_.gpu)
-      mem_.on_device_access(a.id, touched, gpusim::TimeCategory::DataMotion);
+void Engine::break_fusion() { submit(StreamOp{FusionBreakOp{}}); }
+
+void Engine::device_sync() { submit(StreamOp{SyncOp{}}); }
+
+void Engine::submit(StreamOp op) {
+  switch (graph_mode_) {
+    case GraphMode::Capture:
+      active_graph_->append(op);
+      break;
+    case GraphMode::Replay:
+      if (replay_cursor_ < active_graph_->size() &&
+          same_signature(active_graph_->ops()[replay_cursor_], op)) {
+        ++replay_cursor_;
+        if (op_site(op) != nullptr) graph_stats_.replayed_ops++;
+      } else {
+        diverge();
+      }
+      break;
+    case GraphMode::Off:
+    case GraphMode::Diverged:
+      break;
   }
-  // Atomic-update array reductions (ACC and DC+atomic, paper Listings 3/4)
-  // pay extra memory traffic for the read-modify-write contention; the
-  // flipped DC2X form (Listing 5) does not, but serializes the inner loop,
-  // which costs slightly more traffic on the inputs. Net: small penalty for
-  // the atomic form only.
-  const bool atomic_form = cfg_.gpu && cfg_.loops != LoopModel::Dc2x;
-  charge_launch_and_bytes(site, bytes, kernel_scale(site, acc),
-                          /*fused=*/false, /*async=*/false,
-                          atomic_form ? 1.35 : 1.0);
+  sched_->consume(op);
 }
 
-void Engine::device_sync() {
-  break_fusion();
-  // Draining the async queue costs one launch latency on the GPU.
-  if (cfg_.gpu)
-    ledger_.advance(cfg_.device.launch_overhead_s * 0.5,
+/// The live stream no longer matches the capture: stop replaying (the
+/// rest of this pass is charged per-kernel again) and re-capture on the
+/// next pass.
+void Engine::diverge() {
+  graph_stats_.divergences++;
+  active_graph_->invalidate();
+  sched_->set_replay_active(false);
+  graph_mode_ = GraphMode::Diverged;
+}
+
+void Engine::graph_begin(const std::string& name) {
+  if (!cfg_.graph_replay || !cfg_.gpu) return;
+  if (graph_depth_++ > 0) return;  // nested scope: the outer graph governs
+  auto [it, inserted] = graphs_.try_emplace(name, name);
+  active_graph_ = &it->second;
+  if (active_graph_->captured()) {
+    graph_mode_ = GraphMode::Replay;
+    replay_cursor_ = 0;
+    sched_->set_replay_active(true);
+    graph_stats_.replays++;
+    // One submission launches the whole instantiated graph
+    // (cudaGraphLaunch): a single launch overhead, not async-hidden.
+    const double t0 = ledger_.now();
+    ledger_.advance(cfg_.device.launch_overhead_s,
                     gpusim::TimeCategory::LaunchGap);
+    graph_stats_.graph_launch_seconds += cfg_.device.launch_overhead_s;
+    if (tracer_.enabled())
+      tracer_.record(t0, ledger_.now(), trace::Lane::Kernel,
+                     "graph:" + name);
+  } else {
+    graph_mode_ = GraphMode::Capture;
+    active_graph_->begin_capture();
+    graph_stats_.captures++;
+  }
+}
+
+void Engine::graph_end() {
+  if (!cfg_.graph_replay || !cfg_.gpu) return;
+  if (graph_depth_ <= 0) return;  // unbalanced end: ignore
+  if (--graph_depth_ > 0) return;
+  switch (graph_mode_) {
+    case GraphMode::Capture:
+      active_graph_->finalize();
+      break;
+    case GraphMode::Replay:
+      sched_->set_replay_active(false);
+      if (replay_cursor_ != active_graph_->size()) {
+        // The pass ended before exhausting the capture: shorter sequence.
+        graph_stats_.divergences++;
+        active_graph_->invalidate();
+      }
+      break;
+    case GraphMode::Diverged:
+    case GraphMode::Off:
+      break;
+  }
+  graph_mode_ = GraphMode::Off;
+  active_graph_ = nullptr;
+}
+
+GraphStats Engine::graph_stats() const {
+  GraphStats s = graph_stats_;
+  s.kernel_launch_seconds_saved = sched_->replay_launch_saved();
+  return s;
+}
+
+const CapturedGraph* Engine::find_graph(const std::string& name) const {
+  const auto it = graphs_.find(name);
+  return it == graphs_.end() ? nullptr : &it->second;
 }
 
 }  // namespace simas::par

@@ -2,26 +2,38 @@
 // The parallel execution engine: SIMAS's analog of the OpenACC /
 // `do concurrent` programming models compared in the paper.
 //
-// One Engine per simulated rank. All kernels *execute* on host threads with
-// deterministic partitioning (results are independent of thread count and
-// execution model), while the engine *accounts* modeled time on the
-// configured device according to the active loop model:
+// One Engine per simulated rank. The Engine is a *recording front-end*:
+// every parallel loop, reduction, sync and fusion break is reified as a
+// kernel-stream IR op (par/stream.hpp) and handed to the active Scheduler
+// backend (par/scheduler.hpp), which performs all modeled-time accounting.
+// Kernels *execute* on host threads with deterministic partitioning
+// (results are independent of thread count and execution model), while the
+// scheduler *accounts* modeled time on the configured device:
 //
-//  * LoopModel::Acc    — OpenACC analog: consecutive kernels in the same
-//    fusion group merge into one launch (kernel fusion); launches can be
-//    asynchronous (latency partially hidden). Reductions use the
-//    `reduction` clause; array reductions use atomics.
-//  * LoopModel::Dc2018 — `do concurrent` within Fortran 2018: plain loops
-//    become DC (one kernel per loop, synchronous — kernel fission);
-//    reductions are NOT expressible and remain OpenACC (paper Code 2/3).
-//  * LoopModel::Dc2x   — Fortran 202X preview: adds the `reduce` clause;
-//    array reductions flip the loop order (paper Listing 5, Code 5/6).
+//  * LoopModel::Acc    -> AccScheduler  — OpenACC analog: consecutive
+//    kernels in the same fusion group merge into one launch (kernel
+//    fusion); launches can be asynchronous (latency partially hidden).
+//    Reductions use the `reduction` clause; array reductions use atomics.
+//  * LoopModel::Dc2018 -> DcScheduler   — `do concurrent` within Fortran
+//    2018: plain loops become DC (one kernel per loop, synchronous —
+//    kernel fission); reductions are NOT expressible and remain OpenACC
+//    (paper Code 2/3).
+//  * LoopModel::Dc2x   -> Dc2xScheduler — Fortran 202X preview: adds the
+//    `reduce` clause; array reductions flip the loop order (paper
+//    Listing 5, Code 5/6).
 //
-// The distinction matters for (a) modeled performance (fusion/async) and
-// (b) the directive model in src/variants which derives Tables I/II.
+// On top of the IR, the Engine offers CUDA-Graph-style capture/replay
+// (EngineConfig::graph_replay): a GraphScope names a repeated op sequence
+// (the PCG inner iteration); its first pass is captured, later passes are
+// validated against the capture and charged one per-graph launch overhead
+// instead of one per kernel. See DESIGN.md "Execution pipeline".
 
+#include <initializer_list>
+#include <limits>
+#include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "gpusim/clock_ledger.hpp"
@@ -30,51 +42,21 @@
 #include "gpusim/memory_manager.hpp"
 #include "par/kernel_site.hpp"
 #include "par/range.hpp"
+#include "par/scheduler.hpp"
 #include "par/site_registry.hpp"
+#include "par/stream.hpp"
 #include "par/thread_pool.hpp"
 #include "trace/trace.hpp"
 #include "util/types.hpp"
 
 namespace simas::par {
 
-enum class LoopModel { Acc, Dc2018, Dc2x };
-
-const char* loop_model_name(LoopModel m);
-
-struct EngineConfig {
-  LoopModel loops = LoopModel::Acc;
-  gpusim::MemoryMode memory = gpusim::MemoryMode::Manual;
-  bool gpu = true;               ///< offload target is the device
-  bool fusion_enabled = true;    ///< ACC kernel fusion (ablation toggle)
-  bool async_enabled = true;     ///< ACC async launches (ablation toggle)
-  /// Extra per-kernel traffic fraction from the array-creation/init
-  /// wrapper routines of paper Code 6 (zero-init kernels the original
-  /// code did not have).
-  double wrapper_init_overhead = 0.0;
-  int host_threads = 1;          ///< real execution threads for kernels
-  gpusim::DeviceSpec device = gpusim::a100_40gb();
-};
-
-/// Declares one array an upcoming kernel touches, for traffic accounting
-/// and unified-memory residency tracking.
-struct Access {
-  gpusim::ArrayId id = gpusim::kInvalidArray;
-  bool write = false;
-};
-inline Access in(gpusim::ArrayId id) { return Access{id, false}; }
-inline Access out(gpusim::ArrayId id) { return Access{id, true}; }
-
-struct EngineCounters {
-  i64 kernel_launches = 0;  ///< launches actually issued (after fusion)
-  i64 loops_executed = 0;   ///< logical parallel loops run
-  i64 fused_launches = 0;   ///< loops merged into a previous launch
-  i64 reduction_loops = 0;
-  i64 bytes_touched = 0;    ///< logical bytes (run scale)
-};
-
 class Engine {
  public:
   explicit Engine(EngineConfig cfg);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   const EngineConfig& config() const { return cfg_; }
   gpusim::ClockLedger& ledger() { return ledger_; }
@@ -83,6 +65,7 @@ class Engine {
   gpusim::MemoryManager& memory() { return mem_; }
   trace::Recorder& tracer() { return tracer_; }
   const EngineCounters& counters() const { return counters_; }
+  const Scheduler& scheduler() const { return *sched_; }
 
   /// Scoped time-category override: halo exchange wraps its buffer
   /// pack/unpack kernels in Mpi so that "buffer loading/unloading" lands in
@@ -104,14 +87,14 @@ class Engine {
 
   /// Anything that is not a kernel launch (MPI call, data directive,
   /// host sync) breaks ACC kernel fusion chains.
-  void break_fusion() { last_fusion_group_ = 0; }
+  void break_fusion();
 
   // ------------------------------------------------------------------
   // Parallel loops. body(i, j, k) is invoked for every point of r.
   template <class F>
   void for_each(const KernelSite& site, Range3 r,
                 std::initializer_list<Access> acc, F&& body) {
-    account_kernel(site, r.count(), acc);
+    record_launch(site, r.count(), acc);
     execute3(r, std::forward<F>(body));
   }
 
@@ -119,7 +102,7 @@ class Engine {
   template <class F>
   void for_each1(const KernelSite& site, Range1 r,
                  std::initializer_list<Access> acc, F&& body) {
-    account_kernel(site, r.count(), acc);
+    record_launch(site, r.count(), acc);
     execute1(r, std::forward<F>(body));
   }
 
@@ -128,24 +111,22 @@ class Engine {
   template <class F>
   real reduce_sum(const KernelSite& site, Range3 r,
                   std::initializer_list<Access> acc, F&& term) {
-    account_reduction(site, r.count(), acc);
+    record_reduce(site, r.count(), acc);
     return reduce3(r, std::forward<F>(term), /*take_max=*/false);
   }
 
   template <class F>
   real reduce_max(const KernelSite& site, Range3 r,
                   std::initializer_list<Access> acc, F&& term) {
-    account_reduction(site, r.count(), acc);
+    record_reduce(site, r.count(), acc);
     return reduce3(r, std::forward<F>(term), /*take_max=*/true);
   }
 
   template <class F>
   real reduce_sum1(const KernelSite& site, Range1 r,
                    std::initializer_list<Access> acc, F&& term) {
-    account_reduction(site, r.count(), acc);
-    real total = 0.0;
-    for (idx i = r.begin; i < r.end; ++i) total += term(i);
-    return total;
+    record_reduce(site, r.count(), acc);
+    return reduce1(r, std::forward<F>(term));
   }
 
   // ------------------------------------------------------------------
@@ -153,13 +134,13 @@ class Engine {
   //
   // Executed as a flipped loop (outer over i, inner reduce) for
   // determinism under every model; the *accounting* follows the active
-  // model: ACC / DC+atomic issue one kernel with atomic traffic, DC2X
+  // scheduler: ACC / DC+atomic issue one kernel with atomic traffic, DC2X
   // issues the flipped loop (paper Listing 3 -> 4 -> 5).
   template <class F>
   void array_reduce(const KernelSite& site, Range3 r,
                     std::initializer_list<Access> acc, std::span<real> out,
                     F&& term) {
-    account_array_reduction(site, r, acc);
+    record_array_reduce(site, r.count(), acc);
     execute_array_reduce(r, out, std::forward<F>(term));
   }
 
@@ -170,21 +151,51 @@ class Engine {
   /// Modeled elapsed seconds so far on this rank.
   double modeled_seconds() const { return ledger_.now(); }
 
+  // ------------------------------------------------------------------
+  // Graph capture/replay (active only when cfg.graph_replay && cfg.gpu).
+  //
+  // The first pass over a named scope captures the op sequence; later
+  // passes replay it: one per-graph launch overhead, zero per-kernel
+  // launch overhead. The live stream is validated op-by-op against the
+  // capture; on divergence the graph is invalidated (re-captured on the
+  // next pass) and the rest of the pass is charged normally.
+
+  void graph_begin(const std::string& name);
+  void graph_end();
+
+  /// RAII wrapper marking one pass over a replayable op sequence.
+  class GraphScope {
+   public:
+    GraphScope(Engine& e, const std::string& name) : engine_(e) {
+      engine_.graph_begin(name);
+    }
+    ~GraphScope() { engine_.graph_end(); }
+    GraphScope(const GraphScope&) = delete;
+    GraphScope& operator=(const GraphScope&) = delete;
+
+   private:
+    Engine& engine_;
+  };
+
+  GraphStats graph_stats() const;
+  /// The captured graph registered under `name`, if any.
+  const CapturedGraph* find_graph(const std::string& name) const;
+
  private:
-  void account_kernel(const KernelSite& site, idx cells,
-                      std::initializer_list<Access> acc);
-  void account_reduction(const KernelSite& site, idx cells,
-                         std::initializer_list<Access> acc);
-  void account_array_reduction(const KernelSite& site, Range3 r,
-                               std::initializer_list<Access> acc);
-  /// Shared accounting core. Returns modeled kernel duration.
-  void charge_launch_and_bytes(const KernelSite& site, i64 bytes,
-                               gpusim::ScaleClass scale, bool fused,
-                               bool async, double extra_traffic_factor);
+  // Op recording (front-end): build the IR op and submit it to the
+  // scheduler (and to the active graph capture/replay, if any).
+  void record_launch(const KernelSite& site, i64 cells,
+                     std::initializer_list<Access> acc);
+  void record_reduce(const KernelSite& site, i64 cells,
+                     std::initializer_list<Access> acc);
+  void record_array_reduce(const KernelSite& site, i64 cells,
+                           std::initializer_list<Access> acc);
+  void submit(StreamOp op);
+  void diverge();
   /// Surface-scaled when the site says so or any accessed array is a
   /// surface-sized buffer (halo pack/unpack).
-  gpusim::ScaleClass kernel_scale(const KernelSite& site,
-                                  std::initializer_list<Access> acc) const;
+  gpusim::ScaleClass resolve_scale(const KernelSite& site,
+                                   std::initializer_list<Access> acc) const;
 
   template <class F>
   void execute3(Range3 r, F&& body) {
@@ -218,19 +229,23 @@ class Engine {
     });
   }
 
+  static constexpr real max_identity() {
+    return std::numeric_limits<real>::lowest();
+  }
+
   template <class F>
   real reduce3(Range3 r, F&& term, bool take_max) {
     const idx nj = r.nj(), nk = r.nk();
     const i64 planes = static_cast<i64>(nj) * nk;
-    if (planes <= 0 || r.ni() <= 0) return take_max ? -1e300 : 0.0;
+    if (planes <= 0 || r.ni() <= 0) return take_max ? max_identity() : 0.0;
     const i64 planes_per_block = 8;
     const i64 nblocks = ceil_div(planes, planes_per_block);
     std::vector<real> partial(static_cast<std::size_t>(nblocks),
-                              take_max ? -1e300 : 0.0);
+                              take_max ? max_identity() : 0.0);
     pool_.run_blocks(nblocks, [&](i64 b) {
       const i64 p0 = b * planes_per_block;
       const i64 p1 = std::min<i64>(planes, p0 + planes_per_block);
-      real acc = take_max ? -1e300 : 0.0;
+      real acc = take_max ? max_identity() : 0.0;
       for (i64 p = p0; p < p1; ++p) {
         const idx k = r.k0 + static_cast<idx>(p / nj);
         const idx j = r.j0 + static_cast<idx>(p % nj);
@@ -245,7 +260,7 @@ class Engine {
       }
       partial[static_cast<std::size_t>(b)] = acc;
     });
-    real total = take_max ? -1e300 : 0.0;
+    real total = take_max ? max_identity() : 0.0;
     for (const real v : partial) {
       if (take_max) {
         if (v > total) total = v;
@@ -253,6 +268,28 @@ class Engine {
         total += v;
       }
     }
+    return total;
+  }
+
+  /// Blocked 1-D sum with the same fixed-chunk partitioning as execute1:
+  /// deterministic and thread-count invariant, like every other entry
+  /// point.
+  template <class F>
+  real reduce1(Range1 r, F&& term) {
+    const i64 n = r.count();
+    if (n <= 0) return 0.0;
+    const i64 chunk = 4096;
+    const i64 nblocks = ceil_div(n, chunk);
+    std::vector<real> partial(static_cast<std::size_t>(nblocks), 0.0);
+    pool_.run_blocks(nblocks, [&](i64 b) {
+      const idx lo = r.begin + b * chunk;
+      const idx hi = std::min<idx>(r.end, lo + chunk);
+      real acc = 0.0;
+      for (idx i = lo; i < hi; ++i) acc += term(i);
+      partial[static_cast<std::size_t>(b)] = acc;
+    });
+    real total = 0.0;
+    for (const real v : partial) total += v;
     return total;
   }
 
@@ -278,7 +315,16 @@ class Engine {
   ThreadPool pool_;
   EngineCounters counters_;
   gpusim::TimeCategory kernel_category_ = gpusim::TimeCategory::Compute;
-  int last_fusion_group_ = 0;
+  std::unique_ptr<Scheduler> sched_;
+
+  // Graph capture/replay state.
+  enum class GraphMode { Off, Capture, Replay, Diverged };
+  std::unordered_map<std::string, CapturedGraph> graphs_;
+  CapturedGraph* active_graph_ = nullptr;
+  GraphMode graph_mode_ = GraphMode::Off;
+  int graph_depth_ = 0;
+  std::size_t replay_cursor_ = 0;
+  GraphStats graph_stats_;
 };
 
 }  // namespace simas::par

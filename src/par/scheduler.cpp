@@ -1,0 +1,171 @@
+#include "par/scheduler.hpp"
+
+#include <algorithm>
+
+namespace simas::par {
+
+const char* loop_model_name(LoopModel m) {
+  switch (m) {
+    case LoopModel::Acc: return "acc";
+    case LoopModel::Dc2018: return "dc2018";
+    case LoopModel::Dc2x: return "dc2x";
+  }
+  return "?";
+}
+
+void Scheduler::consume(const StreamOp& op) {
+  switch (op_kind(op)) {
+    case OpKind::Launch: on_launch(std::get<LaunchOp>(op)); break;
+    case OpKind::Reduce: on_reduce(std::get<ReduceOp>(op)); break;
+    case OpKind::ArrayReduce:
+      on_array_reduce(std::get<ArrayReduceOp>(op));
+      break;
+    case OpKind::Sync: on_sync(std::get<SyncOp>(op)); break;
+    case OpKind::FusionBreak:
+      on_fusion_break(std::get<FusionBreakOp>(op));
+      break;
+  }
+}
+
+i64 Scheduler::touch_accesses(const std::vector<Access>& accesses,
+                              i64 cells) {
+  i64 bytes = 0;
+  for (const Access& a : accesses) {
+    const i64 touched = std::min<i64>(cells * static_cast<i64>(sizeof(real)),
+                                      ctx_.mem->record(a.id).bytes);
+    bytes += touched;
+    if (ctx_.cfg->gpu)
+      ctx_.mem->on_device_access(a.id, touched,
+                                 gpusim::TimeCategory::DataMotion);
+  }
+  return bytes;
+}
+
+void Scheduler::charge_launch_and_bytes(const KernelSite& site, i64 bytes,
+                                        gpusim::ScaleClass scale, bool fused,
+                                        bool async,
+                                        double extra_traffic_factor,
+                                        gpusim::TimeCategory category) {
+  const bool unified = ctx_.mem->unified() && ctx_.cfg->gpu;
+  const double t0 = ctx_.ledger->now();
+  double launch = ctx_.cost->launch_time(fused, async, unified);
+  if (replay_active_) {
+    // Inside a replayed graph the kernel was pre-instantiated: no launch
+    // submission cost. UM inter-kernel gaps are a paging artifact, not a
+    // launch artifact, so they persist under graphs.
+    const double graphed =
+        unified ? ctx_.cost->device().um_kernel_gap_s : 0.0;
+    replay_launch_saved_ += launch - graphed;
+    launch = graphed;
+  }
+  ctx_.ledger->advance(launch, gpusim::TimeCategory::LaunchGap);
+  const double traffic =
+      ctx_.cost->kernel_time(bytes, scale) * extra_traffic_factor;
+  ctx_.ledger->advance(traffic, category);
+  ctx_.counters->bytes_touched += bytes;
+  if (ctx_.tracer->enabled())
+    ctx_.tracer->record(t0, ctx_.ledger->now(), trace::Lane::Kernel,
+                        site.name);
+}
+
+void Scheduler::on_launch(const LaunchOp& op) {
+  ctx_.counters->loops_executed++;
+  const i64 bytes = touch_accesses(op.accesses, op.cells);
+
+  const bool fused = fuse_with_previous(op);
+  if (fused) ctx_.counters->fused_launches++;
+  last_fusion_group_ = op.site->fusion_group;
+  if (!fused) ctx_.counters->kernel_launches++;
+
+  charge_launch_and_bytes(*op.site, bytes, op.scale, fused, launch_async(op),
+                          1.0 + ctx_.cfg->wrapper_init_overhead, op.category);
+}
+
+void Scheduler::on_reduce(const ReduceOp& op) {
+  ctx_.counters->loops_executed++;
+  ctx_.counters->reduction_loops++;
+  ctx_.counters->kernel_launches++;
+  last_fusion_group_ = 0;  // reductions synchronize; they never fuse
+  const i64 bytes = touch_accesses(op.accesses, op.cells);
+  // Reductions are synchronous under every model (the DC reduce clause and
+  // the OpenACC reduction clause both imply a result dependency).
+  charge_launch_and_bytes(*op.site, bytes, op.scale, /*fused=*/false,
+                          /*async=*/false, 1.0, op.category);
+}
+
+void Scheduler::on_array_reduce(const ArrayReduceOp& op) {
+  ctx_.counters->loops_executed++;
+  ctx_.counters->reduction_loops++;
+  ctx_.counters->kernel_launches++;
+  last_fusion_group_ = 0;
+  const i64 bytes = touch_accesses(op.accesses, op.cells);
+  charge_launch_and_bytes(*op.site, bytes, op.scale, /*fused=*/false,
+                          /*async=*/false, array_reduce_traffic_factor(),
+                          op.category);
+}
+
+void Scheduler::on_sync(const SyncOp&) {
+  last_fusion_group_ = 0;
+  // Draining the async queue costs one launch latency on the GPU.
+  if (ctx_.cfg->gpu)
+    ctx_.ledger->advance(ctx_.cfg->device.launch_overhead_s * 0.5,
+                         gpusim::TimeCategory::LaunchGap);
+}
+
+void Scheduler::on_fusion_break(const FusionBreakOp&) {
+  last_fusion_group_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// AccScheduler: kernel fusion + async gap hiding (paper Sec. IV-B).
+
+bool AccScheduler::fuse_with_previous(const LaunchOp& op) const {
+  return ctx_.cfg->gpu && ctx_.cfg->fusion_enabled &&
+         op.site->fusion_group != 0 &&
+         op.site->fusion_group == last_fusion_group_;
+}
+
+bool AccScheduler::launch_async(const LaunchOp& op) const {
+  return ctx_.cfg->gpu && ctx_.cfg->async_enabled && op.site->async_capable;
+}
+
+double AccScheduler::array_reduce_traffic_factor() const {
+  // Atomic-update array reductions (paper Listing 3) pay extra memory
+  // traffic for the read-modify-write contention.
+  return ctx_.cfg->gpu ? 1.35 : 1.0;
+}
+
+// ---------------------------------------------------------------------
+// DcScheduler: one launch per loop (fission), synchronous, DC+atomic
+// array reductions (paper Code 2/3).
+
+bool DcScheduler::fuse_with_previous(const LaunchOp&) const { return false; }
+
+bool DcScheduler::launch_async(const LaunchOp&) const { return false; }
+
+double DcScheduler::array_reduce_traffic_factor() const {
+  return ctx_.cfg->gpu ? 1.35 : 1.0;
+}
+
+// ---------------------------------------------------------------------
+// Dc2xScheduler: fission like DC, but array reductions are flipped
+// (paper Listing 5) — no atomic traffic.
+
+bool Dc2xScheduler::fuse_with_previous(const LaunchOp&) const {
+  return false;
+}
+
+bool Dc2xScheduler::launch_async(const LaunchOp&) const { return false; }
+
+double Dc2xScheduler::array_reduce_traffic_factor() const { return 1.0; }
+
+std::unique_ptr<Scheduler> make_scheduler(LoopModel m, SchedulerContext ctx) {
+  switch (m) {
+    case LoopModel::Acc: return std::make_unique<AccScheduler>(ctx);
+    case LoopModel::Dc2018: return std::make_unique<DcScheduler>(ctx);
+    case LoopModel::Dc2x: return std::make_unique<Dc2xScheduler>(ctx);
+  }
+  return std::make_unique<AccScheduler>(ctx);
+}
+
+}  // namespace simas::par

@@ -1,0 +1,164 @@
+#pragma once
+// Scheduler backends: the execution policies of the paper's code versions,
+// as consumers of the kernel-stream IR (par/stream.hpp).
+//
+// The Engine records ops; a Scheduler consumes them and drives the cost
+// model, clock ledger, memory manager and trace recorder. Each paper
+// mechanism is a named, independently testable policy:
+//
+//  * AccScheduler  — OpenACC analog: consecutive same-group launches merge
+//    into one kernel (fusion); async-capable launches hide part of the
+//    launch latency (paper Sec. IV-B).
+//  * DcScheduler   — `do concurrent` (F2018) analog: one synchronous
+//    launch per loop (kernel fission); array reductions use atomics.
+//  * Dc2xScheduler — Fortran 202X preview: adds the `reduce` clause; array
+//    reductions flip the loop order (paper Listing 5) and avoid the
+//    atomic read-modify-write traffic.
+//
+// All backends share the accounting core, so modeled time differs only
+// through the declared policy points — this is what the golden-equivalence
+// test (tests/test_scheduler_golden.cpp) pins against the pre-refactor
+// monolithic engine arithmetic.
+
+#include <memory>
+
+#include "gpusim/clock_ledger.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/memory_manager.hpp"
+#include "par/stream.hpp"
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace simas::par {
+
+enum class LoopModel { Acc, Dc2018, Dc2x };
+
+const char* loop_model_name(LoopModel m);
+
+struct EngineConfig {
+  LoopModel loops = LoopModel::Acc;
+  gpusim::MemoryMode memory = gpusim::MemoryMode::Manual;
+  bool gpu = true;               ///< offload target is the device
+  bool fusion_enabled = true;    ///< ACC kernel fusion (ablation toggle)
+  bool async_enabled = true;     ///< ACC async launches (ablation toggle)
+  /// CUDA-Graph-style capture/replay of repeated op sequences (the PCG
+  /// inner iteration): per-graph instead of per-kernel launch overhead.
+  bool graph_replay = false;
+  /// Extra per-kernel traffic fraction from the array-creation/init
+  /// wrapper routines of paper Code 6 (zero-init kernels the original
+  /// code did not have).
+  double wrapper_init_overhead = 0.0;
+  int host_threads = 1;          ///< real execution threads for kernels
+  gpusim::DeviceSpec device = gpusim::a100_40gb();
+};
+
+struct EngineCounters {
+  i64 kernel_launches = 0;  ///< launches actually issued (after fusion)
+  i64 loops_executed = 0;   ///< logical parallel loops run
+  i64 fused_launches = 0;   ///< loops merged into a previous launch
+  i64 reduction_loops = 0;
+  i64 bytes_touched = 0;    ///< logical bytes (run scale)
+};
+
+/// Borrowed views of the per-rank accounting state a scheduler drives.
+/// All pointers outlive the scheduler (they are Engine members).
+struct SchedulerContext {
+  const EngineConfig* cfg = nullptr;
+  gpusim::CostModel* cost = nullptr;
+  gpusim::ClockLedger* ledger = nullptr;
+  gpusim::MemoryManager* mem = nullptr;
+  trace::Recorder* tracer = nullptr;
+  EngineCounters* counters = nullptr;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerContext ctx) : ctx_(ctx) {}
+  virtual ~Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  virtual const char* name() const = 0;
+
+  /// Account one op of the stream. Ops must be consumed in program order:
+  /// fusion and unified-memory residency are stateful.
+  void consume(const StreamOp& op);
+
+  /// While active, per-kernel launch overhead is not charged (the kernels
+  /// run inside a replayed graph); UM inter-kernel gaps remain.
+  void set_replay_active(bool on) { replay_active_ = on; }
+  bool replay_active() const { return replay_active_; }
+  /// Accumulated launch overhead elided by replay.
+  double replay_launch_saved() const { return replay_launch_saved_; }
+
+ protected:
+  // ---- Policy points differentiating the backends ----
+  /// May this launch merge into the immediately preceding one?
+  virtual bool fuse_with_previous(const LaunchOp& op) const = 0;
+  /// Is this launch issued asynchronously (latency partially hidden)?
+  virtual bool launch_async(const LaunchOp& op) const = 0;
+  /// Traffic multiplier for array reductions (atomic RMW contention vs
+  /// the flipped-loop form, paper Listings 3 -> 4 -> 5).
+  virtual double array_reduce_traffic_factor() const = 0;
+
+  // ---- Shared accounting core (identical under every backend) ----
+  void on_launch(const LaunchOp& op);
+  void on_reduce(const ReduceOp& op);
+  void on_array_reduce(const ArrayReduceOp& op);
+  void on_sync(const SyncOp& op);
+  void on_fusion_break(const FusionBreakOp& op);
+
+  /// Sum the logical bytes the op touches and notify the memory manager
+  /// (unified-memory page migration). Returns the byte total.
+  i64 touch_accesses(const std::vector<Access>& accesses, i64 cells);
+  void charge_launch_and_bytes(const KernelSite& site, i64 bytes,
+                               gpusim::ScaleClass scale, bool fused,
+                               bool async, double extra_traffic_factor,
+                               gpusim::TimeCategory category);
+
+  SchedulerContext ctx_;
+  int last_fusion_group_ = 0;
+  bool replay_active_ = false;
+  double replay_launch_saved_ = 0.0;
+};
+
+/// OpenACC analog: kernel fusion + async launch hiding.
+class AccScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  const char* name() const override { return "acc"; }
+
+ protected:
+  bool fuse_with_previous(const LaunchOp& op) const override;
+  bool launch_async(const LaunchOp& op) const override;
+  double array_reduce_traffic_factor() const override;
+};
+
+/// `do concurrent` (F2018) analog: one synchronous launch per loop.
+class DcScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  const char* name() const override { return "dc2018"; }
+
+ protected:
+  bool fuse_with_previous(const LaunchOp& op) const override;
+  bool launch_async(const LaunchOp& op) const override;
+  double array_reduce_traffic_factor() const override;
+};
+
+/// Fortran 202X preview: flipped (atomic-free) array reductions.
+class Dc2xScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  const char* name() const override { return "dc2x"; }
+
+ protected:
+  bool fuse_with_previous(const LaunchOp& op) const override;
+  bool launch_async(const LaunchOp& op) const override;
+  double array_reduce_traffic_factor() const override;
+};
+
+std::unique_ptr<Scheduler> make_scheduler(LoopModel m, SchedulerContext ctx);
+
+}  // namespace simas::par

@@ -1,0 +1,58 @@
+#include "par/stream.hpp"
+
+#include "par/site_registry.hpp"
+
+namespace simas::par {
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::Launch: return "launch";
+    case OpKind::Reduce: return "reduce";
+    case OpKind::ArrayReduce: return "array_reduce";
+    case OpKind::Sync: return "sync";
+    case OpKind::FusionBreak: return "fusion_break";
+  }
+  return "?";
+}
+
+OpKind op_kind(const StreamOp& op) {
+  switch (op.index()) {
+    case 0: return OpKind::Launch;
+    case 1: return OpKind::Reduce;
+    case 2: return OpKind::ArrayReduce;
+    case 3: return OpKind::Sync;
+    default: return OpKind::FusionBreak;
+  }
+}
+
+namespace {
+
+const KernelOp* kernel_payload(const StreamOp& op) {
+  if (const auto* l = std::get_if<LaunchOp>(&op)) return l;
+  if (const auto* r = std::get_if<ReduceOp>(&op)) return r;
+  if (const auto* a = std::get_if<ArrayReduceOp>(&op)) return a;
+  return nullptr;
+}
+
+}  // namespace
+
+const KernelSite* op_site(const StreamOp& op) {
+  const KernelOp* k = kernel_payload(op);
+  return k ? k->site : nullptr;
+}
+
+i64 op_cells(const StreamOp& op) {
+  const KernelOp* k = kernel_payload(op);
+  return k ? k->cells : 0;
+}
+
+bool same_signature(const StreamOp& a, const StreamOp& b) {
+  return op_kind(a) == op_kind(b) && op_site(a) == op_site(b) &&
+         op_cells(a) == op_cells(b);
+}
+
+std::vector<KernelSite> stream_sites() {
+  return SiteRegistry::instance().all();
+}
+
+}  // namespace simas::par

@@ -1,0 +1,133 @@
+#pragma once
+// Kernel-stream intermediate representation (IR).
+//
+// Every operation the solver hands to the Engine — parallel loop launches,
+// scalar/array reductions, device syncs, fusion breaks — is reified as a
+// typed op before any time accounting happens. The ops form a stream that
+// a Scheduler backend (par/scheduler.hpp) consumes to drive the cost
+// model, and that a CapturedGraph can record for CUDA-Graph-style replay:
+// one launch overhead per *graph* instead of per *kernel*, the
+// launch-amortization technique that extends the paper's fusion/async
+// story (see bench/bench_ablation_graph.cpp).
+//
+// The KernelSite registry (par/site_registry.hpp) is the IR's symbol
+// table: ops reference sites by stable pointer, and the directive model in
+// src/variants reads its inventory from the same registry.
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gpusim/clock_ledger.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/memory_manager.hpp"
+#include "par/kernel_site.hpp"
+#include "util/types.hpp"
+
+namespace simas::par {
+
+/// Declares one array an upcoming kernel touches, for traffic accounting
+/// and unified-memory residency tracking.
+struct Access {
+  gpusim::ArrayId id = gpusim::kInvalidArray;
+  bool write = false;
+};
+inline Access in(gpusim::ArrayId id) { return Access{id, false}; }
+inline Access out(gpusim::ArrayId id) { return Access{id, true}; }
+
+enum class OpKind { Launch, Reduce, ArrayReduce, Sync, FusionBreak };
+
+const char* op_kind_name(OpKind k);
+
+/// Payload shared by every op that corresponds to a device kernel.
+struct KernelOp {
+  const KernelSite* site = nullptr;  ///< stable pointer into the registry
+  i64 cells = 0;                     ///< logical iteration-space size
+  std::vector<Access> accesses;
+  /// Traffic scale class resolved at record time (site flag or any
+  /// surface-registered buffer among the accesses).
+  gpusim::ScaleClass scale = gpusim::ScaleClass::Volume;
+  /// Time category active when the op was recorded (CategoryScope).
+  gpusim::TimeCategory category = gpusim::TimeCategory::Compute;
+};
+
+/// A data-parallel loop nest (for_each / for_each1).
+struct LaunchOp : KernelOp {};
+/// A scalar reduction (reduce_sum / reduce_max / reduce_sum1).
+struct ReduceOp : KernelOp {};
+/// An indexed accumulation (array_reduce).
+struct ArrayReduceOp : KernelOp {};
+/// Host-side synchronization point (drains async queues, breaks fusion).
+struct SyncOp {};
+/// Non-kernel activity (MPI call, data directive) breaking fusion chains.
+struct FusionBreakOp {};
+
+using StreamOp =
+    std::variant<LaunchOp, ReduceOp, ArrayReduceOp, SyncOp, FusionBreakOp>;
+
+OpKind op_kind(const StreamOp& op);
+/// Site of a kernel op; nullptr for SyncOp / FusionBreakOp.
+const KernelSite* op_site(const StreamOp& op);
+/// Cell count of a kernel op; 0 for SyncOp / FusionBreakOp.
+i64 op_cells(const StreamOp& op);
+
+/// Structural equality used to validate a replayed stream against its
+/// capture: same op kind, same call site, same iteration-space size.
+bool same_signature(const StreamOp& a, const StreamOp& b);
+
+// ---------------------------------------------------------------------
+// Graph capture/replay (CUDA-Graph analog).
+
+/// One recorded op sequence (e.g. a PCG inner iteration). After capture it
+/// can be replayed: the scheduler charges a single per-graph launch
+/// overhead instead of one per kernel, while per-kernel memory traffic and
+/// UM behaviour are unchanged.
+class CapturedGraph {
+ public:
+  explicit CapturedGraph(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  bool captured() const { return captured_; }
+  std::size_t size() const { return ops_.size(); }
+  const std::vector<StreamOp>& ops() const { return ops_; }
+
+  /// Start (or restart, after invalidation) recording the op sequence.
+  void begin_capture() {
+    ops_.clear();
+    captured_ = false;
+  }
+  void append(const StreamOp& op) {
+    // Copy via the concrete alternative (not the variant copy ctor): GCC's
+    // -Wmaybe-uninitialized false-fires on inactive variant alternatives.
+    std::visit([this](const auto& o) { ops_.emplace_back(o); }, op);
+  }
+  /// Capture complete: the graph is instantiated and may be replayed.
+  void finalize() { captured_ = true; }
+  /// The live stream diverged from this capture: re-capture before the
+  /// next replay.
+  void invalidate() { captured_ = false; }
+
+ private:
+  std::string name_;
+  std::vector<StreamOp> ops_;
+  bool captured_ = false;
+};
+
+struct GraphStats {
+  i64 captures = 0;     ///< capture passes (first iteration + re-captures)
+  i64 replays = 0;      ///< whole-graph launches issued
+  i64 divergences = 0;  ///< live stream mismatched the capture
+  i64 replayed_ops = 0; ///< kernel ops satisfied from a replayed graph
+  /// Per-graph launch overhead charged (one launch per replay).
+  double graph_launch_seconds = 0.0;
+  /// Per-kernel launch overhead *not* charged because the kernel ran
+  /// inside a replayed graph.
+  double kernel_launch_seconds_saved = 0.0;
+};
+
+/// Snapshot of every kernel site the IR knows about. The site registry is
+/// the IR's symbol table; the directive model (src/variants) derives its
+/// code inventory from this.
+std::vector<KernelSite> stream_sites();
+
+}  // namespace simas::par

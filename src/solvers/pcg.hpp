@@ -13,6 +13,7 @@
 // in that inner product on the non-uniform spherical mesh.
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "field/field.hpp"
@@ -53,7 +54,11 @@ class Pcg {
   /// z[c] = M^{-1} r[c] (pointwise; no ghosts needed).
   using PrecondFn = std::function<void(const Fields& r, const Fields& z)>;
 
-  Pcg(par::Engine& engine, mpisim::Comm& comm, const grid::LocalGrid& lg);
+  /// `name` labels this solver's captured graphs (one solver instance per
+  /// name when EngineConfig::graph_replay is on, so that e.g. viscosity
+  /// and conduction solves do not invalidate each other's captures).
+  Pcg(par::Engine& engine, mpisim::Comm& comm, const grid::LocalGrid& lg,
+      std::string name = "pcg");
 
   PcgResult solve(const ApplyFn& apply, const PrecondFn& precond,
                   PcgSystem& sys, const PcgOptions& opts);
@@ -66,6 +71,7 @@ class Pcg {
   par::Engine& eng_;
   mpisim::Comm& comm_;
   const grid::LocalGrid& lg_;
+  std::string name_;
 };
 
 }  // namespace simas::solvers

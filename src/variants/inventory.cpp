@@ -1,13 +1,16 @@
 #include "variants/inventory.hpp"
 
 #include "par/engine.hpp"
-#include "par/site_registry.hpp"
+#include "par/stream.hpp"
 
 namespace simas::variants {
 
 CodeInventory gather_inventory(par::Engine& engine) {
   CodeInventory inv;
-  for (const auto& site : par::SiteRegistry::instance().all()) {
+  // The kernel-stream IR's site registry is the canonical inventory of
+  // parallel constructs (every op in the stream references one of these
+  // sites).
+  for (const auto& site : par::stream_sites()) {
     switch (site.kind) {
       case par::SiteKind::ParallelLoop: inv.parallel_loops++; break;
       case par::SiteKind::ScalarReduction: inv.scalar_reductions++; break;

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "par/engine.hpp"
@@ -163,6 +165,54 @@ TEST(EngineAccounting, ForEach1AndReduceSum1) {
   const real s = eng.reduce_sum1(site2, Range1{0, 100}, {in(id)},
                                  [&](idx i) { return v[std::size_t(i)]; });
   EXPECT_DOUBLE_EQ(s, 99.0 * 100.0 / 2.0);
+}
+
+TEST(EngineAccounting, ReduceMaxIdentityIsLowestRepresentable) {
+  Engine eng(base_config());
+  const auto id = eng.memory().register_array("a", 1 << 20);
+  static const KernelSite& site =
+      SIMAS_SITE("acct_redmax_ident", SiteKind::ScalarReduction, 0);
+  // Empty iteration space: the identity, not an arbitrary sentinel.
+  const real empty =
+      eng.reduce_max(site, Range3{0, 0, 0, 4, 0, 4}, {in(id)},
+                     [](idx, idx, idx) { return 1.0; });
+  EXPECT_EQ(empty, std::numeric_limits<real>::lowest());
+  // Terms below the old -1e300 sentinel must still yield the true max.
+  const real m = eng.reduce_max(site, Range3{0, 4, 0, 4, 0, 4}, {in(id)},
+                                [](idx, idx, idx) { return -1.7e308; });
+  EXPECT_EQ(m, -1.7e308);
+}
+
+TEST(EngineAccounting, ReduceSum1IsThreadCountInvariant) {
+  // reduce_sum1 runs on the thread pool with fixed 4096-element blocks;
+  // the combine order is the block order, so the sum must be bitwise
+  // identical for any thread count (and to a serial blocked reference).
+  const i64 n = 20000;  // several blocks, last one partial
+  std::vector<real> vals(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i)
+    vals[static_cast<std::size_t>(i)] =
+        std::sin(1e-3 * static_cast<real>(i)) + 1.0 / static_cast<real>(i + 1);
+
+  real serial_blocked = 0.0;
+  for (i64 b0 = 0; b0 < n; b0 += 4096) {
+    real acc = 0.0;
+    for (i64 i = b0; i < std::min<i64>(n, b0 + 4096); ++i)
+      acc += vals[static_cast<std::size_t>(i)];
+    serial_blocked += acc;
+  }
+
+  for (const int threads : {1, 3, 8}) {
+    EngineConfig cfg = base_config();
+    cfg.host_threads = threads;
+    Engine eng(cfg);
+    const auto id = eng.memory().register_array("a", n * 8);
+    static const KernelSite& site =
+        SIMAS_SITE("acct_red1_invariant", SiteKind::ScalarReduction, 0);
+    const real s =
+        eng.reduce_sum1(site, Range1{0, n}, {in(id)},
+                        [&](idx i) { return vals[std::size_t(i)]; });
+    EXPECT_EQ(s, serial_blocked) << "threads=" << threads;
+  }
 }
 
 TEST(EngineAccounting, DeviceSyncAdvancesClockOnGpuOnly) {
