@@ -1,0 +1,74 @@
+#pragma once
+// Debug shadow instrumentation for the access-list verifier and the
+// DC-legality / race checker (analysis/validator.hpp).
+//
+// When EngineConfig::validate is on, every Field attaches a ShadowSlot to
+// its Array3; Array3::operator() then reports each element access here.
+// Between Validator::body_begin()/body_end() the slot is armed with a mode
+// derived from the op's declared Access list:
+//
+//   Touch      — record only "this array was touched" (access-list diff);
+//   WriteTrack — additionally tag each touched element with the current
+//                (fusion-chain, op, iteration) id to detect duplicate
+//                writes (illegal `do concurrent`) and write-write
+//                conflicts across kernels fused into one launch;
+//   ReadCheck  — compare element tags against writes recorded earlier in
+//                the same fusion chain (read-after-write across fusion).
+//
+// Outside a kernel body the mode is Idle and note() is a single branch,
+// so host-side access (tests, I/O) costs one predictable-untaken branch.
+// With validation off no slot is attached at all.
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace simas::analysis {
+
+class Validator;
+
+/// Flat iteration id of the kernel body executing on this thread,
+/// 1-based; 0 means "not inside a tracked kernel body". The Engine's
+/// execute loops set this (only when validation is on) so that element
+/// tags can distinguish writes from different loop iterations.
+inline thread_local u64 tl_iteration = 0;
+
+inline void set_current_iteration(i64 flat) {
+  // Truncated to 32 bits in the tag; collisions need > 4G-cell loops.
+  tl_iteration = (static_cast<u64>(flat) & 0xffffffffu) + 1;
+}
+
+class ShadowSlot {
+ public:
+  enum class Mode : unsigned char { Idle, Touch, WriteTrack, ReadCheck };
+
+  /// Hot path: called from Array3::operator() for every element access.
+  void note(std::size_t off) {
+    const Mode m = mode_;
+    if (m == Mode::Idle) return;
+    if (!touched_.load(std::memory_order_relaxed))
+      touched_.store(true, std::memory_order_relaxed);
+    if (m != Mode::Touch) note_element(off);
+  }
+
+ private:
+  friend class Validator;
+
+  /// Element-tag conflict detection; defined in validator.cpp.
+  void note_element(std::size_t off);
+
+  Validator* owner_ = nullptr;
+  int array_id_ = -1;  ///< gpusim::ArrayId of the instrumented array
+  Mode mode_ = Mode::Idle;
+  std::atomic<bool> touched_{false};
+  /// Tag template of the active op: (chain_id << 40) | (op_slot << 32).
+  /// OR-ed with the thread's iteration id to form a full element tag.
+  u64 chain_tag_ = 0;
+  /// Per-element last-writer tags, owned by the Validator (lazily sized to
+  /// the array's allocation; entries: chain | op_slot | iteration).
+  std::vector<std::atomic<u64>>* tags_ = nullptr;
+};
+
+}  // namespace simas::analysis

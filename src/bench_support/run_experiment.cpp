@@ -46,6 +46,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     par::EngineConfig ecfg =
         variants::engine_config(cfg.version, cfg.device, threads_per_rank);
     ecfg.graph_replay = cfg.graph_replay;
+    ecfg.validate = cfg.validate;
     par::Engine engine(ecfg);
     engine.cost().set_scales(vol_scale, surf_scale);
     engine.cost().set_working_set_shrink(static_cast<double>(cfg.nranks));

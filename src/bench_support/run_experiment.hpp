@@ -31,6 +31,10 @@ struct ExperimentConfig {
   /// (EngineConfig::graph_replay). Warmup steps capture; measured steps
   /// replay.
   bool graph_replay = false;
+  /// Run the kernel-stream validator over every rank's op stream
+  /// (EngineConfig::validate; also forced by SIMAS_VALIDATE). Findings go
+  /// to the log at Engine teardown; modeled time is unaffected.
+  bool validate = false;
 };
 
 struct RankTiming {

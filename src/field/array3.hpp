@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "analysis/shadow.hpp"
 #include "util/types.hpp"
 
 namespace simas::field {
@@ -24,13 +25,26 @@ class Array3 {
   idx size() const { return static_cast<idx>(data_.size()); }
   i64 bytes() const { return size() * static_cast<i64>(sizeof(real)); }
 
-  real& operator()(idx i, idx j, idx k) { return data_[offset(i, j, k)]; }
-  real operator()(idx i, idx j, idx k) const { return data_[offset(i, j, k)]; }
+  real& operator()(idx i, idx j, idx k) {
+    const std::size_t off = offset(i, j, k);
+    if (shadow_ != nullptr) shadow_->note(off);
+    return data_[off];
+  }
+  real operator()(idx i, idx j, idx k) const {
+    const std::size_t off = offset(i, j, k);
+    if (shadow_ != nullptr) shadow_->note(off);
+    return data_[off];
+  }
 
   real* data() { return data_.data(); }
   const real* data() const { return data_.data(); }
 
   void fill(real v);
+
+  /// Attach the validator's shadow slot (nullptr detaches). Accesses via
+  /// data() bypass the shadow by design: raw-pointer I/O paths report
+  /// through the MemoryManager access notes instead.
+  void set_shadow(analysis::ShadowSlot* slot) { shadow_ = slot; }
 
   /// Interior-only L2 norm and max-abs (serial; used by tests/diagnostics).
   real norm2_interior() const;
@@ -46,6 +60,7 @@ class Array3 {
   idx n1_ = 0, n2_ = 0, n3_ = 0, g_ = 0;
   std::size_t s2_ = 0, s3_ = 0;
   std::vector<real> data_;
+  analysis::ShadowSlot* shadow_ = nullptr;
 };
 
 }  // namespace simas::field

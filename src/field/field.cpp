@@ -1,5 +1,7 @@
 #include "field/field.hpp"
 
+#include "analysis/validator.hpp"
+
 namespace simas::field {
 
 Field::Field(par::Engine& engine, std::string name, idx n1, idx n2, idx n3,
@@ -7,8 +9,18 @@ Field::Field(par::Engine& engine, std::string name, idx n1, idx n2, idx n3,
     : engine_(engine), name_(std::move(name)), a_(n1, n2, n3, nghost) {
   id_ = engine_.memory().register_array(name_, a_.bytes(), scale,
                                         derived_type_member);
+  if (analysis::Validator* v = engine_.validator()) {
+    a_.set_shadow(
+        v->attach_shadow(id_, static_cast<std::size_t>(a_.size())));
+  }
 }
 
-Field::~Field() { engine_.memory().unregister_array(id_); }
+Field::~Field() {
+  if (analysis::Validator* v = engine_.validator()) {
+    a_.set_shadow(nullptr);
+    v->detach_shadow(id_);
+  }
+  engine_.memory().unregister_array(id_);
+}
 
 }  // namespace simas::field

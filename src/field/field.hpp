@@ -27,6 +27,7 @@ class Field {
 
   const std::string& name() const { return name_; }
   gpusim::ArrayId id() const { return id_; }
+  par::Engine& engine() const { return engine_; }
 
   Array3& a() { return a_; }
   const Array3& a() const { return a_; }
@@ -35,10 +36,17 @@ class Field {
   real operator()(idx i, idx j, idx k) const { return a_(i, j, k); }
 
   // Manual-data-management convenience (no-ops under unified/host modes).
+  // update_* are const: they move data across the fence but do not change
+  // the host-visible value set (checkpointing flushes const fields).
   void enter_data() { engine_.memory().enter_data(id_); }
   void exit_data() { engine_.memory().exit_data(id_); }
-  void update_device() { engine_.memory().update_device(id_); }
-  void update_host() { engine_.memory().update_host(id_); }
+  void update_device() const { engine_.memory().update_device(id_); }
+  void update_host() const { engine_.memory().update_host(id_); }
+
+  // Validator access notes for raw data() paths (checkpoint I/O, MPI
+  // staging) that bypass the element shadow. No time is accounted.
+  void note_host_read() const { engine_.memory().note_host_read(id_); }
+  void note_host_write() { engine_.memory().note_host_write(id_); }
 
  private:
   par::Engine& engine_;

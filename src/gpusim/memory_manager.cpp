@@ -32,8 +32,20 @@ ArrayId MemoryManager::register_array(std::string name, i64 bytes,
 }
 
 void MemoryManager::unregister_array(ArrayId id) {
+  const auto it = arrays_.find(id);
+  if (it == arrays_.end())
+    throw std::logic_error(
+        "MemoryManager::unregister_array: unknown array id");
+  if (mode_ == MemoryMode::Manual && it->second.on_device) {
+    // Freeing host storage while the array is device-resident implicitly
+    // ends its data region: the device copy is released without a copy-out
+    // (OpenACC leaks or faults here; we account it and let the validator
+    // flag any dirty device data being dropped).
+    notify(DataEvent::UnregisterInRegion, id);
+    stats_.implicit_releases++;
+  }
   if (mode_ == MemoryMode::Unified) um_.remove_array(id);
-  arrays_.erase(id);
+  arrays_.erase(it);
 }
 
 ArrayRecord& MemoryManager::rec(ArrayId id) {
@@ -50,26 +62,48 @@ const ArrayRecord& MemoryManager::record(ArrayId id) const {
 void MemoryManager::enter_data(ArrayId id, TimeCategory cat) {
   if (mode_ != MemoryMode::Manual) return;
   ArrayRecord& r = rec(id);
-  if (r.on_device) return;
+  if (r.on_device) {
+    notify(DataEvent::RedundantEnter, id);
+    return;
+  }
   r.on_device = true;
   stats_.enter_data_calls++;
   stats_.manual_h2d_bytes += r.bytes;
+  notify(DataEvent::EnterData, id);
   ledger_->advance(cost_->host_transfer_time(r.bytes, r.scale), cat);
 }
 
 void MemoryManager::exit_data(ArrayId id, TimeCategory cat) {
+  exit_data(id, ExitPolicy::CopyOut, cat);
+}
+
+void MemoryManager::exit_data(ArrayId id, ExitPolicy policy,
+                              TimeCategory cat) {
   if (mode_ != MemoryMode::Manual) return;
   ArrayRecord& r = rec(id);
-  if (!r.on_device) return;
+  if (!r.on_device) {
+    // Double exit / exit without enter: no device copy to release, so the
+    // accounting stays untouched; the validator flags the imbalance.
+    notify(DataEvent::ExitOutsideRegion, id);
+    return;
+  }
+  notify(policy == ExitPolicy::CopyOut ? DataEvent::ExitCopyOut
+                                       : DataEvent::ExitDelete,
+         id);
   r.on_device = false;
   stats_.exit_data_calls++;
-  stats_.manual_d2h_bytes += r.bytes;
-  ledger_->advance(cost_->host_transfer_time(r.bytes, r.scale), cat);
+  if (policy == ExitPolicy::CopyOut) {
+    stats_.manual_d2h_bytes += r.bytes;
+    ledger_->advance(cost_->host_transfer_time(r.bytes, r.scale), cat);
+  }
 }
 
 void MemoryManager::update_device(ArrayId id, TimeCategory cat) {
   if (mode_ != MemoryMode::Manual) return;
   const ArrayRecord& r = rec(id);
+  notify(r.on_device ? DataEvent::UpdateDevice
+                     : DataEvent::UpdateDeviceOutsideRegion,
+         id);
   stats_.update_device_calls++;
   stats_.manual_h2d_bytes += r.bytes;
   ledger_->advance(cost_->host_transfer_time(r.bytes, r.scale), cat);
@@ -78,6 +112,9 @@ void MemoryManager::update_device(ArrayId id, TimeCategory cat) {
 void MemoryManager::update_host(ArrayId id, TimeCategory cat) {
   if (mode_ != MemoryMode::Manual) return;
   const ArrayRecord& r = rec(id);
+  notify(r.on_device ? DataEvent::UpdateHost
+                     : DataEvent::UpdateHostOutsideRegion,
+         id);
   stats_.update_host_calls++;
   stats_.manual_d2h_bytes += r.bytes;
   ledger_->advance(cost_->host_transfer_time(r.bytes, r.scale), cat);

@@ -48,6 +48,40 @@ struct MemoryStats {
   i64 update_host_calls = 0;
   i64 manual_h2d_bytes = 0;
   i64 manual_d2h_bytes = 0;
+  /// Arrays unregistered while still device-resident: the device copy is
+  /// released without a copy-out (nothing left to copy into).
+  i64 implicit_releases = 0;
+};
+
+/// What exit_data does with the device copy (OpenACC `copyout` vs
+/// `delete`). CopyOut charges a D2H transfer; Delete discards the device
+/// copy — cheap, but wrong if the device data was never copied back.
+enum class ExitPolicy { CopyOut, Delete };
+
+/// Data-management events observable by the kernel-stream validator
+/// (analysis/validator.hpp). Events fire for Manual-mode directives and
+/// for explicit host/device access notes; they carry no time accounting.
+enum class DataEvent {
+  EnterData,
+  RedundantEnter,      ///< enter_data while already inside a region
+  ExitCopyOut,
+  ExitDelete,
+  ExitOutsideRegion,   ///< exit_data without a matching enter
+  UpdateDevice,
+  UpdateDeviceOutsideRegion,
+  UpdateHost,
+  UpdateHostOutsideRegion,
+  UnregisterInRegion,  ///< storage freed while device-resident
+  HostRead,
+  HostWrite,
+  DeviceRead,
+  DeviceWrite,
+};
+
+class MemoryObserver {
+ public:
+  virtual ~MemoryObserver() = default;
+  virtual void on_data_event(DataEvent ev, ArrayId id) = 0;
 };
 
 class MemoryManager {
@@ -62,11 +96,26 @@ class MemoryManager {
                          bool derived_type_member = false);
   void unregister_array(ArrayId id);
 
+  /// The observer (the kernel-stream validator) is notified of every data
+  /// directive and access note. Pass nullptr to detach.
+  void set_observer(MemoryObserver* obs) { observer_ = obs; }
+
   // ---- Manual-mode data directives (no-ops under Unified / HostOnly) ----
   void enter_data(ArrayId id, TimeCategory cat = TimeCategory::DataMotion);
   void exit_data(ArrayId id, TimeCategory cat = TimeCategory::DataMotion);
+  void exit_data(ArrayId id, ExitPolicy policy,
+                 TimeCategory cat = TimeCategory::DataMotion);
   void update_device(ArrayId id, TimeCategory cat = TimeCategory::DataMotion);
   void update_host(ArrayId id, TimeCategory cat = TimeCategory::DataMotion);
+
+  // ---- Validator-only access notes (no time accounted) ----
+  // Host-side I/O (checkpointing) and the MPI layer report which side of
+  // the fence they touch an array from, so the coherence checker can see
+  // reads of stale copies that would silently corrupt a real GPU run.
+  void note_host_read(ArrayId id) { notify(DataEvent::HostRead, id); }
+  void note_host_write(ArrayId id) { notify(DataEvent::HostWrite, id); }
+  void note_device_read(ArrayId id) { notify(DataEvent::DeviceRead, id); }
+  void note_device_write(ArrayId id) { notify(DataEvent::DeviceWrite, id); }
 
   // ---- Access notifications (issued by the Engine / MPI layer) ----
   /// A device kernel touches `bytes` of the array. Under Unified this may
@@ -87,6 +136,9 @@ class MemoryManager {
 
  private:
   ArrayRecord& rec(ArrayId id);
+  void notify(DataEvent ev, ArrayId id) {
+    if (observer_ != nullptr) observer_->on_data_event(ev, id);
+  }
 
   MemoryMode mode_;
   CostModel* cost_;
@@ -95,6 +147,7 @@ class MemoryManager {
   std::unordered_map<ArrayId, ArrayRecord> arrays_;
   ArrayId next_id_ = 0;
   MemoryStats stats_;
+  MemoryObserver* observer_ = nullptr;
 };
 
 }  // namespace simas::gpusim

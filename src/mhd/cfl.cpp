@@ -18,7 +18,9 @@ real cfl_timestep(MhdContext& c) {
   const real eta = ph.eta;
 
   static const par::KernelSite& site =
-      SIMAS_SITE("cfl_max_wave_speed", SiteKind::ScalarReduction, 0);
+      SIMAS_SITE("cfl_max_wave_speed", SiteKind::ScalarReduction, 0,
+                 /*calls_routine=*/false, /*uses_derived_type=*/false,
+                 /*async_capable=*/false);
 
   const real local_max = c.eng.reduce_max(
       site, par::Range3{0, st.nloc, 0, st.nt, 0, st.np},

@@ -37,8 +37,17 @@ void write_checkpoint(std::ostream& os, const State& st, i64 steps_taken,
   h.steps_taken = steps_taken;
   h.sim_time = sim_time;
   os.write(reinterpret_cast<const char*>(&h), sizeof(h));
-  for (const field::Field* f : persistent_fields(st))
+  // Drain the async queue before pulling data to the host: update_host
+  // with kernel writes still in flight is the Sec. IV IO-before-wait bug.
+  st.rho.engine().device_sync();
+  for (const field::Field* f : persistent_fields(st)) {
+    // The host writes the file, so flush the device copy first (the
+    // Sec. IV stale-I/O hazard: checkpoints written without `update host`
+    // silently persist pre-step data).
+    f->update_host();
+    f->note_host_read();
     write_field(os, f->a());
+  }
   if (!os) throw std::runtime_error("checkpoint: write failed");
 }
 
@@ -51,8 +60,14 @@ CheckpointHeader read_checkpoint(std::istream& is, State& st) {
     throw std::runtime_error("checkpoint: unsupported version");
   if (h.nloc != st.nloc || h.nt != st.nt || h.np != st.np)
     throw std::runtime_error("checkpoint: shape mismatch");
-  for (const field::Field* f : persistent_fields(st))
-    read_field(is, const_cast<field::Field*>(f)->a());
+  for (const field::Field* f : persistent_fields(st)) {
+    field::Field* fld = const_cast<field::Field*>(f);
+    read_field(is, fld->a());
+    // The restore lands in host memory; push it to the device copy so the
+    // next kernel does not read pre-restore data.
+    fld->note_host_write();
+    fld->update_device();
+  }
   return h;
 }
 

@@ -31,7 +31,9 @@ real div_b_cell(const grid::LocalGrid& lg, const State& st, idx i, idx j,
 void shell_mean_temperature(MhdContext& c, std::vector<real>& out) {
   State& st = c.st;
   static const par::KernelSite& site =
-      SIMAS_SITE("shell_mean_temp", SiteKind::ArrayReduction, 0);
+      SIMAS_SITE("shell_mean_temp", SiteKind::ArrayReduction, 0,
+                 /*calls_routine=*/false, /*uses_derived_type=*/false,
+                 /*async_capable=*/false);
   out.assign(static_cast<std::size_t>(st.nloc), 0.0);
   c.eng.array_reduce(site, par::Range3{0, st.nloc, 0, st.nt, 0, st.np},
                      {par::in(st.temp.id())}, std::span<real>(out),
@@ -53,17 +55,29 @@ GlobalDiagnostics global_diagnostics(MhdContext& c) {
   };
 
   static const par::KernelSite& site_mass =
-      SIMAS_SITE("diag_total_mass", SiteKind::ScalarReduction, 0);
+      SIMAS_SITE("diag_total_mass", SiteKind::ScalarReduction, 0,
+                 /*calls_routine=*/false, /*uses_derived_type=*/false,
+                 /*async_capable=*/false);
   static const par::KernelSite& site_ke =
-      SIMAS_SITE("diag_kinetic_energy", SiteKind::ScalarReduction, 0);
+      SIMAS_SITE("diag_kinetic_energy", SiteKind::ScalarReduction, 0,
+                 /*calls_routine=*/false, /*uses_derived_type=*/false,
+                 /*async_capable=*/false);
   static const par::KernelSite& site_me =
-      SIMAS_SITE("diag_magnetic_energy", SiteKind::ScalarReduction, 0);
+      SIMAS_SITE("diag_magnetic_energy", SiteKind::ScalarReduction, 0,
+                 /*calls_routine=*/false, /*uses_derived_type=*/false,
+                 /*async_capable=*/false);
   static const par::KernelSite& site_te =
-      SIMAS_SITE("diag_thermal_energy", SiteKind::ScalarReduction, 0);
+      SIMAS_SITE("diag_thermal_energy", SiteKind::ScalarReduction, 0,
+                 /*calls_routine=*/false, /*uses_derived_type=*/false,
+                 /*async_capable=*/false);
   static const par::KernelSite& site_divb =
-      SIMAS_SITE("diag_max_divb", SiteKind::ScalarReduction, 0);
+      SIMAS_SITE("diag_max_divb", SiteKind::ScalarReduction, 0,
+                 /*calls_routine=*/false, /*uses_derived_type=*/false,
+                 /*async_capable=*/false);
   static const par::KernelSite& site_vmax =
-      SIMAS_SITE("diag_max_speed", SiteKind::ScalarReduction, 0);
+      SIMAS_SITE("diag_max_speed", SiteKind::ScalarReduction, 0,
+                 /*calls_routine=*/false, /*uses_derived_type=*/false,
+                 /*async_capable=*/false);
 
   GlobalDiagnostics d;
   d.total_mass = c.comm.allreduce_sum(c.eng.reduce_sum(

@@ -23,6 +23,13 @@ MasSolver::MasSolver(par::Engine& engine, mpisim::Comm& comm,
   state_->enter_device_data();
 }
 
+MasSolver::~MasSolver() {
+  // Drain the async queue before the copyout: exiting with device writes
+  // still in flight is the Sec. IV async-copyout hazard.
+  engine_.device_sync();
+  state_->exit_device_data();
+}
+
 void MasSolver::initialize() {
   State& st = *state_;
   const grid::LocalGrid& lg = *lg_;
@@ -98,7 +105,10 @@ void MasSolver::initialize() {
 
   exchange_center_ghosts(*ctx_);
   apply_b_ghosts(*ctx_);
-  compute_center_b(*ctx_);
+  // No compute_center_b here: every consumer (step, diagnostics, PFSS)
+  // recomputes the centered field itself, and a trailing call would fuse
+  // with the one at the start of diagnostics() — two kernels writing every
+  // bc* element inside one merged launch (the validator's fused-conflict).
 }
 
 StepStats MasSolver::step() {

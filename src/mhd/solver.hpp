@@ -31,6 +31,9 @@ struct StepStats {
 class MasSolver {
  public:
   MasSolver(par::Engine& engine, mpisim::Comm& comm, const SolverConfig& cfg);
+  /// Ends the state's device data regions (balances the constructor's
+  /// enter_device_data; runs after any timing capture).
+  ~MasSolver();
 
   /// Hydrostatic-ish stratified atmosphere at rest threaded by a dipole
   /// field initialized from a vector potential (div B = 0 to round-off).

@@ -112,6 +112,13 @@ void Comm::send(int dst, int tag, std::span<const real> data,
   bool staged = false;
   const double t0 = ledger.now();
   const double cost = transfer_cost(bytes, buf, dst, staged);
+  // Tell the validator which side of the fence MPI reads the buffer from:
+  // CUDA-aware sends read the device copy, everything else reads host
+  // memory (stale-copy hazards differ).
+  if (engine_.config().gpu && engine_.memory().device_direct_eligible(buf))
+    engine_.memory().note_device_read(buf);
+  else
+    engine_.memory().note_host_read(buf);
   ledger.advance(cost, TimeCategory::Mpi);
   if (engine_.tracer().enabled())
     engine_.tracer().record(t0, ledger.now(),
@@ -149,6 +156,12 @@ void Comm::recv(int src, int tag, std::span<real> data, gpusim::ArrayId buf) {
   if (msg.payload.size() != data.size())
     throw std::logic_error("Comm::recv: size mismatch");
   std::copy(msg.payload.begin(), msg.payload.end(), data.begin());
+  // The delivered payload lands on the device for CUDA-aware receives and
+  // in host memory otherwise (the unpack kernel's input side).
+  if (engine_.config().gpu && engine_.memory().device_direct_eligible(buf))
+    engine_.memory().note_device_write(buf);
+  else
+    engine_.memory().note_host_write(buf);
 
   // Modeled wait until the data is available: the paper's "MPI waiting
   // caused by load imbalance".

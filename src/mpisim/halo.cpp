@@ -43,6 +43,14 @@ HaloExchanger::HaloExchanger(par::Engine& engine, Comm& comm, const Slab& slab,
   phi_buf_.enter_data();
 }
 
+HaloExchanger::~HaloExchanger() {
+  send_lo_.exit_data();
+  send_hi_.exit_data();
+  recv_lo_.exit_data();
+  recv_hi_.exit_data();
+  phi_buf_.exit_data();
+}
+
 void HaloExchanger::exchange_r(const std::vector<field::Field*>& fields) {
   const int nf = static_cast<int>(fields.size());
   if (nf == 0) return;

@@ -30,6 +30,9 @@ class HaloExchanger {
   /// exchange can carry.
   HaloExchanger(par::Engine& engine, Comm& comm, const Slab& slab, idx nloc,
                 idx nt, idx np, int max_fields = 12);
+  /// Ends the buffers' device data regions (balances the constructor's
+  /// enter_data calls; runs after any timing capture).
+  ~HaloExchanger();
 
   /// Exchange one radial ghost layer with both neighbours (if any).
   void exchange_r(const std::vector<field::Field*>& fields);

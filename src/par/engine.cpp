@@ -1,9 +1,21 @@
 #include "par/engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
+#include "analysis/validator.hpp"
+#include "util/logging.hpp"
+
 namespace simas::par {
+
+namespace {
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+}  // namespace
 
 Engine::Engine(EngineConfig cfg)
     : cfg_(cfg),
@@ -20,12 +32,57 @@ Engine::Engine(EngineConfig cfg)
     // regions (paper Sec. V-C).
     cost_.set_dc_bw_penalty(0.985);
   }
+  if (env_flag("SIMAS_VALIDATE")) cfg_.validate = true;
+  if (env_flag("SIMAS_VALIDATE_FATAL")) {
+    cfg_.validate = true;
+    cfg_.validate_fatal = true;
+  }
   sched_ = make_scheduler(
       cfg_.loops,
       SchedulerContext{&cfg_, &cost_, &ledger_, &mem_, &tracer_, &counters_});
+  if (cfg_.validate) {
+    validator_ = std::make_unique<analysis::Validator>(cfg_, mem_);
+    mem_.set_observer(validator_.get());
+    shadow_exec_ = true;
+  }
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  if (validator_ == nullptr) return;
+  mem_.set_observer(nullptr);
+  const analysis::ValidationReport report = validator_->take();
+  if (!report.diagnostics.empty()) {
+    for (const analysis::Diagnostic& d : report.diagnostics) {
+      if (d.severity == analysis::Severity::Error)
+        log_error(d.to_string());
+      else
+        log_warn(d.to_string());
+    }
+    log_warn("validator: " + std::to_string(report.errors()) + " error(s), " +
+             std::to_string(report.warnings()) + " warning(s) over " +
+             std::to_string(report.ops_checked) + " ops");
+  }
+  if (cfg_.validate_fatal && report.errors() > 0) {
+    std::fprintf(stderr,
+                 "simas: SIMAS_VALIDATE_FATAL set and the kernel-stream "
+                 "validator recorded %d error(s); aborting\n",
+                 static_cast<int>(report.errors()));
+    std::abort();
+  }
+}
+
+analysis::ValidationReport Engine::take_validation_report() {
+  if (validator_ == nullptr) return {};
+  return validator_->take();
+}
+
+void Engine::body_begin() {
+  if (validator_ != nullptr) validator_->body_begin();
+}
+
+void Engine::body_end() {
+  if (validator_ != nullptr) validator_->body_end();
+}
 
 gpusim::ScaleClass Engine::resolve_scale(
     const KernelSite& site, std::initializer_list<Access> acc) const {
@@ -92,6 +149,7 @@ void Engine::submit(StreamOp op) {
     case GraphMode::Diverged:
       break;
   }
+  if (validator_ != nullptr) validator_->on_op(op);
   sched_->consume(op);
 }
 

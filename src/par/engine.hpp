@@ -36,6 +36,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
+#include "analysis/shadow.hpp"
 #include "gpusim/clock_ledger.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device_spec.hpp"
@@ -48,6 +50,10 @@
 #include "par/thread_pool.hpp"
 #include "trace/trace.hpp"
 #include "util/types.hpp"
+
+namespace simas::analysis {
+class Validator;
+}
 
 namespace simas::par {
 
@@ -66,6 +72,12 @@ class Engine {
   trace::Recorder& tracer() { return tracer_; }
   const EngineCounters& counters() const { return counters_; }
   const Scheduler& scheduler() const { return *sched_; }
+
+  /// Live kernel-stream validator; nullptr when validation is off.
+  analysis::Validator* validator() { return validator_.get(); }
+  /// Drain the validator's findings (empty report when validation is off).
+  /// Draining before teardown also disarms the validate_fatal abort.
+  analysis::ValidationReport take_validation_report();
 
   /// Scoped time-category override: halo exchange wraps its buffer
   /// pack/unpack kernels in Mpi so that "buffer loading/unloading" lands in
@@ -95,7 +107,9 @@ class Engine {
   void for_each(const KernelSite& site, Range3 r,
                 std::initializer_list<Access> acc, F&& body) {
     record_launch(site, r.count(), acc);
+    body_begin();
     execute3(r, std::forward<F>(body));
+    body_end();
   }
 
   /// 1-D variant for packed buffers and solver vectors.
@@ -103,7 +117,9 @@ class Engine {
   void for_each1(const KernelSite& site, Range1 r,
                  std::initializer_list<Access> acc, F&& body) {
     record_launch(site, r.count(), acc);
+    body_begin();
     execute1(r, std::forward<F>(body));
+    body_end();
   }
 
   // ------------------------------------------------------------------
@@ -112,21 +128,30 @@ class Engine {
   real reduce_sum(const KernelSite& site, Range3 r,
                   std::initializer_list<Access> acc, F&& term) {
     record_reduce(site, r.count(), acc);
-    return reduce3(r, std::forward<F>(term), /*take_max=*/false);
+    body_begin();
+    const real v = reduce3(r, std::forward<F>(term), /*take_max=*/false);
+    body_end();
+    return v;
   }
 
   template <class F>
   real reduce_max(const KernelSite& site, Range3 r,
                   std::initializer_list<Access> acc, F&& term) {
     record_reduce(site, r.count(), acc);
-    return reduce3(r, std::forward<F>(term), /*take_max=*/true);
+    body_begin();
+    const real v = reduce3(r, std::forward<F>(term), /*take_max=*/true);
+    body_end();
+    return v;
   }
 
   template <class F>
   real reduce_sum1(const KernelSite& site, Range1 r,
                    std::initializer_list<Access> acc, F&& term) {
     record_reduce(site, r.count(), acc);
-    return reduce1(r, std::forward<F>(term));
+    body_begin();
+    const real v = reduce1(r, std::forward<F>(term));
+    body_end();
+    return v;
   }
 
   // ------------------------------------------------------------------
@@ -141,7 +166,9 @@ class Engine {
                     std::initializer_list<Access> acc, std::span<real> out,
                     F&& term) {
     record_array_reduce(site, r.count(), acc);
+    body_begin();
     execute_array_reduce(r, out, std::forward<F>(term));
+    body_end();
   }
 
   // ------------------------------------------------------------------
@@ -192,6 +219,10 @@ class Engine {
                            std::initializer_list<Access> acc);
   void submit(StreamOp op);
   void diverge();
+  // Validator body brackets (no-ops when validation is off); defined in
+  // engine.cpp so this header needs only the forward declaration.
+  void body_begin();
+  void body_end();
   /// Surface-scaled when the site says so or any accessed array is a
   /// surface-sized buffer (halo pack/unpack).
   gpusim::ScaleClass resolve_scale(const KernelSite& site,
@@ -200,18 +231,23 @@ class Engine {
   template <class F>
   void execute3(Range3 r, F&& body) {
     const idx nj = r.nj(), nk = r.nk();
+    const i64 ni = r.ni();
     const i64 planes = static_cast<i64>(nj) * nk;
-    if (planes <= 0 || r.ni() <= 0) return;
+    if (planes <= 0 || ni <= 0) return;
     // One block = a fixed number of (j,k) planes, independent of threads.
     const i64 planes_per_block = 8;
     const i64 nblocks = ceil_div(planes, planes_per_block);
+    const bool shadow = shadow_exec_;
     pool_.run_blocks(nblocks, [&](i64 b) {
       const i64 p0 = b * planes_per_block;
       const i64 p1 = std::min<i64>(planes, p0 + planes_per_block);
       for (i64 p = p0; p < p1; ++p) {
         const idx k = r.k0 + static_cast<idx>(p / nj);
         const idx j = r.j0 + static_cast<idx>(p % nj);
-        for (idx i = r.i0; i < r.i1; ++i) body(i, j, k);
+        for (idx i = r.i0; i < r.i1; ++i) {
+          if (shadow) analysis::set_current_iteration(p * ni + (i - r.i0));
+          body(i, j, k);
+        }
       }
     });
   }
@@ -222,10 +258,14 @@ class Engine {
     if (n <= 0) return;
     const i64 chunk = 4096;
     const i64 nblocks = ceil_div(n, chunk);
+    const bool shadow = shadow_exec_;
     pool_.run_blocks(nblocks, [&](i64 b) {
       const idx lo = r.begin + b * chunk;
       const idx hi = std::min<idx>(r.end, lo + chunk);
-      for (idx i = lo; i < hi; ++i) body(i);
+      for (idx i = lo; i < hi; ++i) {
+        if (shadow) analysis::set_current_iteration(i - r.begin);
+        body(i);
+      }
     });
   }
 
@@ -298,7 +338,9 @@ class Engine {
     const idx ni = r.ni();
     if (ni <= 0) return;
     const i64 nblocks = ni;  // one block per output element: deterministic
+    const bool shadow = shadow_exec_;
     pool_.run_blocks(nblocks, [&](i64 b) {
+      if (shadow) analysis::set_current_iteration(b);
       const idx i = r.i0 + static_cast<idx>(b);
       real acc = 0.0;
       for (idx k = r.k0; k < r.k1; ++k)
@@ -316,6 +358,10 @@ class Engine {
   EngineCounters counters_;
   gpusim::TimeCategory kernel_category_ = gpusim::TimeCategory::Compute;
   std::unique_ptr<Scheduler> sched_;
+  std::unique_ptr<analysis::Validator> validator_;
+  /// Validation on: the execute loops publish per-iteration ids so shadow
+  /// slots can tag touched elements.
+  bool shadow_exec_ = false;
 
   // Graph capture/replay state.
   enum class GraphMode { Off, Capture, Replay, Diverged };

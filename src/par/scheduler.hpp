@@ -49,6 +49,15 @@ struct EngineConfig {
   /// wrapper routines of paper Code 6 (zero-init kernels the original
   /// code did not have).
   double wrapper_init_overhead = 0.0;
+  /// Run the kernel-stream validator (analysis/validator.hpp) over the op
+  /// stream: coherence, access-list, and DC-legality checking. Also
+  /// enabled by the SIMAS_VALIDATE environment variable. Validation never
+  /// changes modeled time.
+  bool validate = false;
+  /// Abort at Engine teardown if the validator recorded any errors
+  /// (SIMAS_VALIDATE_FATAL). Reports drained via take_validation_report()
+  /// before teardown do not trip this.
+  bool validate_fatal = false;
   int host_threads = 1;          ///< real execution threads for kernels
   gpusim::DeviceSpec device = gpusim::a100_40gb();
 };

@@ -1,5 +1,7 @@
 #include "par/site_registry.hpp"
 
+#include <stdexcept>
+
 namespace simas::par {
 
 const char* site_kind_name(SiteKind k) {
@@ -19,9 +21,27 @@ SiteRegistry& SiteRegistry::instance() {
 }
 
 const KernelSite& SiteRegistry::register_site(KernelSite proto) {
+  if (proto.name.empty())
+    throw std::invalid_argument("SiteRegistry: kernel site needs a name");
+  if (proto.fusion_group < 0)
+    throw std::invalid_argument("SiteRegistry: fusion group of site '" +
+                                proto.name + "' must be >= 0 (0 = none)");
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& s : sites_) {
-    if (s.name == proto.name) return s;
+    if (s.name != proto.name) continue;
+    // Same name must mean the same site: a second registration with
+    // different properties is a copy-paste bug that would silently take
+    // the first registration's accounting.
+    if (s.kind != proto.kind || s.fusion_group != proto.fusion_group ||
+        s.calls_routine != proto.calls_routine ||
+        s.uses_derived_type != proto.uses_derived_type ||
+        s.async_capable != proto.async_capable ||
+        s.surface_scaled != proto.surface_scaled) {
+      throw std::logic_error(
+          "SiteRegistry: site '" + proto.name +
+          "' re-registered with different properties (duplicate name?)");
+    }
+    return s;
   }
   proto.id = static_cast<int>(sites_.size());
   sites_.push_back(std::move(proto));

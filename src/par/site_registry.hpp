@@ -18,8 +18,9 @@ class SiteRegistry {
   static SiteRegistry& instance();
 
   /// Register (or fetch the previously registered) site with this name.
-  /// Name collisions must describe the same site; kind/flags from the first
-  /// registration win.
+  /// Throws std::invalid_argument for an empty name or negative fusion
+  /// group, and std::logic_error if the name is re-registered with
+  /// different kind/flags (two distinct call sites sharing a name).
   const KernelSite& register_site(KernelSite proto);
 
   /// Snapshot of all sites registered so far.

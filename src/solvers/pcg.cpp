@@ -13,7 +13,9 @@ Pcg::Pcg(par::Engine& engine, mpisim::Comm& comm, const grid::LocalGrid& lg,
 
 real Pcg::dot(const Fields& a, const Fields& b) {
   static const par::KernelSite& site =
-      SIMAS_SITE("pcg_dot", SiteKind::ScalarReduction, 0);
+      SIMAS_SITE("pcg_dot", SiteKind::ScalarReduction, 0,
+                 /*calls_routine=*/false, /*uses_derived_type=*/false,
+                 /*async_capable=*/false);
   if (a.size() != b.size())
     throw std::invalid_argument("Pcg::dot: component mismatch");
   const grid::LocalGrid& lg = lg_;

@@ -22,12 +22,16 @@ void rkl2_advance(par::Engine& eng, const RhsFn& rhs, field::Field& u,
                   par::Range3 interior) {
   if (s < 2) throw std::invalid_argument("rkl2_advance: need s >= 2 stages");
 
+  // No fusion group: every stage reads the previous stage's output, so
+  // merging adjacent stage kernels into one launch (which happens whenever
+  // the rhs callback emits no kernels in between) would be a read-after-
+  // write race across the fused body.
   static const par::KernelSite& site_copy =
-      SIMAS_SITE("sts_copy", SiteKind::ParallelLoop, 55);
+      SIMAS_SITE("sts_copy", SiteKind::ParallelLoop, 0);
   static const par::KernelSite& site_stage1 =
-      SIMAS_SITE("sts_stage1", SiteKind::ParallelLoop, 55);
+      SIMAS_SITE("sts_stage1", SiteKind::ParallelLoop, 0);
   static const par::KernelSite& site_stage =
-      SIMAS_SITE("sts_stage", SiteKind::ParallelLoop, 55);
+      SIMAS_SITE("sts_stage", SiteKind::ParallelLoop, 0);
 
   const real w1 = 4.0 / (static_cast<real>(s) * s + s - 2.0);
   auto b_of = [](int j) -> real {

@@ -31,7 +31,8 @@ TEST_P(DeterminismSweep, ReduceSumBitwiseStable) {
   Engine eng = make_engine(GetParam());
   const auto id = eng.memory().register_array("a", 1 << 22);
   static const KernelSite& site =
-      SIMAS_SITE("det_reduce", SiteKind::ScalarReduction, 0);
+      SIMAS_SITE("det_reduce", SiteKind::ScalarReduction, 0, false,
+                 false, /*async_capable=*/false);
   const auto term = [](idx i, idx j, idx k) {
     return 1.0 / (1.0 + i) + 0.001 * j - 1e-7 * k;
   };
@@ -50,7 +51,8 @@ TEST_P(DeterminismSweep, ArrayReduceBitwiseStable) {
   Engine eng = make_engine(GetParam());
   const auto id = eng.memory().register_array("a", 1 << 22);
   static const KernelSite& site =
-      SIMAS_SITE("det_array_reduce", SiteKind::ArrayReduction, 0);
+      SIMAS_SITE("det_array_reduce", SiteKind::ArrayReduction, 0, false,
+                 false, /*async_capable=*/false);
   const auto term = [](idx i, idx j, idx k) {
     return 0.1 * i + 1.0 / (2.0 + j + k);
   };

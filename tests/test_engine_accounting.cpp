@@ -93,7 +93,8 @@ TEST(EngineAccounting, ArrayReductionAtomicFormCostsMoreThanFlipped) {
     Engine eng(cfg);
     const auto id = eng.memory().register_array("a", 1 << 24);
     static const KernelSite& site =
-        SIMAS_SITE("acct_arr_red", SiteKind::ArrayReduction, 0);
+        SIMAS_SITE("acct_arr_red", SiteKind::ArrayReduction, 0, false,
+                 false, /*async_capable=*/false);
     std::vector<real> out_vec(16, 0.0);
     eng.array_reduce(site, Range3{0, 16, 0, 16, 0, 16}, {in(id)},
                      std::span<real>(out_vec),
@@ -141,7 +142,8 @@ TEST(EngineAccounting, ReductionsBreakFusionChains) {
   static const KernelSite& loop_site =
       SIMAS_SITE("acct_fusebreak_loop", SiteKind::ParallelLoop, 91);
   static const KernelSite& red_site =
-      SIMAS_SITE("acct_fusebreak_red", SiteKind::ScalarReduction, 91);
+      SIMAS_SITE("acct_fusebreak_red", SiteKind::ScalarReduction, 91, false,
+                 false, /*async_capable=*/false);
   const Range3 r{0, 4, 0, 4, 0, 4};
   eng.for_each(loop_site, r, {out(id)}, [](idx, idx, idx) {});
   eng.reduce_sum(red_site, r, {in(id)}, [](idx, idx, idx) { return 1.0; });
@@ -157,7 +159,8 @@ TEST(EngineAccounting, ForEach1AndReduceSum1) {
   static const KernelSite& site1 =
       SIMAS_SITE("acct_1d_loop", SiteKind::ParallelLoop, 0);
   static const KernelSite& site2 =
-      SIMAS_SITE("acct_1d_red", SiteKind::ScalarReduction, 0);
+      SIMAS_SITE("acct_1d_red", SiteKind::ScalarReduction, 0, false,
+                 false, /*async_capable=*/false);
   std::vector<real> v(100, 0.0);
   eng.for_each1(site1, Range1{0, 100}, {out(id)},
                 [&](idx i) { v[static_cast<std::size_t>(i)] = real(i); });
@@ -171,7 +174,8 @@ TEST(EngineAccounting, ReduceMaxIdentityIsLowestRepresentable) {
   Engine eng(base_config());
   const auto id = eng.memory().register_array("a", 1 << 20);
   static const KernelSite& site =
-      SIMAS_SITE("acct_redmax_ident", SiteKind::ScalarReduction, 0);
+      SIMAS_SITE("acct_redmax_ident", SiteKind::ScalarReduction, 0, false,
+                 false, /*async_capable=*/false);
   // Empty iteration space: the identity, not an arbitrary sentinel.
   const real empty =
       eng.reduce_max(site, Range3{0, 0, 0, 4, 0, 4}, {in(id)},
@@ -207,7 +211,8 @@ TEST(EngineAccounting, ReduceSum1IsThreadCountInvariant) {
     Engine eng(cfg);
     const auto id = eng.memory().register_array("a", n * 8);
     static const KernelSite& site =
-        SIMAS_SITE("acct_red1_invariant", SiteKind::ScalarReduction, 0);
+        SIMAS_SITE("acct_red1_invariant", SiteKind::ScalarReduction, 0, false,
+                 false, /*async_capable=*/false);
     const real s =
         eng.reduce_sum1(site, Range1{0, n}, {in(id)},
                         [&](idx i) { return vals[std::size_t(i)]; });

@@ -176,6 +176,70 @@ TEST(MemoryManager, UnknownArrayThrows) {
   ClockLedger ledger;
   MemoryManager mm(MemoryMode::Manual, &cm, &ledger);
   EXPECT_THROW(mm.enter_data(1234), std::logic_error);
+  EXPECT_THROW(mm.unregister_array(1234), std::logic_error);
+}
+
+TEST(MemoryManager, ManualByteCountersMatchTraffic) {
+  CostModel cm(a100_40gb());
+  ClockLedger ledger;
+  MemoryManager mm(MemoryMode::Manual, &cm, &ledger);
+  const i64 bytes = 4096;
+  const auto id = mm.register_array("x", bytes);
+  mm.enter_data(id);         // H2D of the whole array
+  mm.update_device(id);      // H2D again
+  mm.update_host(id);        // D2H
+  mm.exit_data(id);          // D2H copyout
+  EXPECT_EQ(mm.stats().manual_h2d_bytes, 2 * bytes);
+  EXPECT_EQ(mm.stats().manual_d2h_bytes, 2 * bytes);
+  EXPECT_EQ(mm.stats().enter_data_calls, 1);
+  EXPECT_EQ(mm.stats().exit_data_calls, 1);
+  EXPECT_EQ(mm.stats().update_device_calls, 1);
+  EXPECT_EQ(mm.stats().update_host_calls, 1);
+}
+
+TEST(MemoryManager, ExitDeleteSkipsCopyOut) {
+  CostModel cm(a100_40gb());
+  ClockLedger ledger;
+  MemoryManager mm(MemoryMode::Manual, &cm, &ledger);
+  const i64 bytes = 1 << 20;
+  const auto id = mm.register_array("x", bytes);
+  mm.enter_data(id);
+  const double t_entered = ledger.now();
+  mm.exit_data(id, ExitPolicy::Delete);
+  // Delete drops the device copy: no D2H bytes, no modeled time.
+  EXPECT_EQ(mm.stats().manual_d2h_bytes, 0);
+  EXPECT_DOUBLE_EQ(ledger.now(), t_entered);
+  EXPECT_EQ(mm.stats().exit_data_calls, 1);
+  EXPECT_FALSE(mm.device_direct_eligible(id));
+}
+
+TEST(MemoryManager, DoubleExitCountsOnce) {
+  CostModel cm(a100_40gb());
+  ClockLedger ledger;
+  MemoryManager mm(MemoryMode::Manual, &cm, &ledger);
+  const i64 bytes = 4096;
+  const auto id = mm.register_array("x", bytes);
+  mm.enter_data(id);
+  mm.exit_data(id);
+  mm.exit_data(id);  // outside a region: a no-op, not a second copyout
+  EXPECT_EQ(mm.stats().exit_data_calls, 1);
+  EXPECT_EQ(mm.stats().manual_d2h_bytes, bytes);
+}
+
+TEST(MemoryManager, UnregisterInsideRegionIsAnImplicitRelease) {
+  CostModel cm(a100_40gb());
+  ClockLedger ledger;
+  MemoryManager mm(MemoryMode::Manual, &cm, &ledger);
+  const auto id = mm.register_array("x", 4096);
+  mm.enter_data(id);
+  mm.unregister_array(id);  // freed while device-resident: no copy-out
+  EXPECT_EQ(mm.stats().implicit_releases, 1);
+  // A balanced lifetime never increments the counter.
+  const auto id2 = mm.register_array("y", 4096);
+  mm.enter_data(id2);
+  mm.exit_data(id2);
+  mm.unregister_array(id2);
+  EXPECT_EQ(mm.stats().implicit_releases, 1);
 }
 
 }  // namespace

@@ -90,7 +90,8 @@ TEST(Engine, ReduceSumMatchesSerialAndThreadCountInvariant) {
     Engine eng(cfg);
     const auto id = eng.memory().register_array("a", 1 << 20);
     static const KernelSite& site =
-        SIMAS_SITE("test_engine_reduce", SiteKind::ScalarReduction, 0);
+        SIMAS_SITE("test_engine_reduce", SiteKind::ScalarReduction, 0, false,
+                 false, /*async_capable=*/false);
     sums[t++] = eng.reduce_sum(site, Range3{0, 13, 0, 17, 0, 11}, {in(id)},
                                [&](idx i, idx j, idx k) {
                                  return 0.1 * i + 0.01 * j + 0.001 * k;
@@ -111,7 +112,8 @@ TEST(Engine, ReduceMaxFindsMaximum) {
   Engine eng(gpu_config(LoopModel::Dc2x, gpusim::MemoryMode::Manual));
   const auto id = eng.memory().register_array("a", 1 << 20);
   static const KernelSite& site =
-      SIMAS_SITE("test_engine_reduce_max", SiteKind::ScalarReduction, 0);
+      SIMAS_SITE("test_engine_reduce_max", SiteKind::ScalarReduction, 0, false,
+                 false, /*async_capable=*/false);
   const real m = eng.reduce_max(site, Range3{0, 10, 0, 10, 0, 10}, {in(id)},
                                 [&](idx i, idx j, idx k) {
                                   return static_cast<real>(i * 100 + j * 10 +
@@ -125,7 +127,8 @@ TEST(Engine, ArrayReduceAccumulatesPerOuterIndex) {
   Engine eng(gpu_config(LoopModel::Dc2x, gpusim::MemoryMode::Manual));
   const auto id = eng.memory().register_array("a", 1 << 20);
   static const KernelSite& site =
-      SIMAS_SITE("test_engine_array_reduce", SiteKind::ArrayReduction, 0);
+      SIMAS_SITE("test_engine_array_reduce", SiteKind::ArrayReduction, 0, false,
+                 false, /*async_capable=*/false);
   std::vector<real> out(4, 1.0);  // accumulates on top of existing values
   eng.array_reduce(site, Range3{0, 4, 0, 5, 0, 6}, {in(id)},
                    std::span<real>(out),

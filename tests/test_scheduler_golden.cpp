@@ -196,10 +196,13 @@ struct Sites {
                    false, /*async_capable=*/false),
         SIMAS_SITE("golden_surf", SiteKind::ParallelLoop, 0, false, false,
                    true, /*surface_scaled=*/true),
-        SIMAS_SITE("golden_red", SiteKind::ScalarReduction, 0),
-        SIMAS_SITE("golden_arr_red", SiteKind::ArrayReduction, 0),
+        SIMAS_SITE("golden_red", SiteKind::ScalarReduction, 0, false,
+                 false, /*async_capable=*/false),
+        SIMAS_SITE("golden_arr_red", SiteKind::ArrayReduction, 0, false,
+                 false, /*async_capable=*/false),
         SIMAS_SITE("golden_pack", SiteKind::ParallelLoop, 0),
-        SIMAS_SITE("golden_red1", SiteKind::ScalarReduction, 0),
+        SIMAS_SITE("golden_red1", SiteKind::ScalarReduction, 0, false,
+                 false, /*async_capable=*/false),
     };
     return s;
   }

@@ -121,7 +121,8 @@ TEST(GraphReplay, SecondPassReplaysWithPerGraphLaunchOverhead) {
   static const KernelSite& s1 = SIMAS_SITE("graph_basic_1", SiteKind::ParallelLoop);
   static const KernelSite& s2 = SIMAS_SITE("graph_basic_2", SiteKind::ParallelLoop);
   static const KernelSite& sr =
-      SIMAS_SITE("graph_basic_red", SiteKind::ScalarReduction);
+      SIMAS_SITE("graph_basic_red", SiteKind::ScalarReduction, 0, false,
+                 false, /*async_capable=*/false);
   const Range3 r{0, 8, 0, 8, 0, 8};
 
   auto pass = [&] {
@@ -256,7 +257,8 @@ TEST(GraphReplay, CellCountChangeDiverges) {
 TEST(GraphReplay, DisabledToggleIsBitIdenticalToNoScopes) {
   static const KernelSite& s1 = SIMAS_SITE("graph_toggle_1", SiteKind::ParallelLoop);
   static const KernelSite& sr =
-      SIMAS_SITE("graph_toggle_red", SiteKind::ScalarReduction);
+      SIMAS_SITE("graph_toggle_red", SiteKind::ScalarReduction, 0, false,
+                 false, /*async_capable=*/false);
   const Range3 r{0, 8, 0, 8, 0, 8};
   const auto body = [](idx, idx, idx) {};
 
