@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_support/host_threads.hpp"
 #include "par/engine.hpp"
 #include "variants/code_version.hpp"
 
@@ -23,7 +24,8 @@ par::EngineConfig config_for(par::LoopModel loops, gpusim::MemoryMode mem) {
   cfg.loops = loops;
   cfg.memory = mem;
   cfg.gpu = true;
-  cfg.host_threads = 4;
+  // Auto path: SIMAS_HOST_THREADS, else hardware concurrency.
+  cfg.host_threads = bench_support::resolve_host_threads(0);
   return cfg;
 }
 

@@ -119,7 +119,7 @@ class Validator final : public gpusim::MemoryObserver {
     const par::KernelSite* site = nullptr;
     par::OpKind kind = par::OpKind::Launch;
     i64 cells = 0;
-    std::vector<par::Access> accesses;
+    par::AccessList accesses;
     bool valid = false;
   };
   PendingKernel pending_;

@@ -1,0 +1,25 @@
+#include "bench_support/host_threads.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace simas::bench_support {
+
+int resolve_host_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("SIMAS_HOST_THREADS");
+      env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+int threads_per_rank(int threads_total, int nranks) {
+  return std::max(1, threads_total / std::max(1, nranks));
+}
+
+}  // namespace simas::bench_support

@@ -1,0 +1,22 @@
+#pragma once
+// Shared host-thread-count resolution for benches and the experiment
+// runner. One policy, used everywhere a "how many real execution threads"
+// decision is made, so SIMAS_HOST_THREADS behaves identically across
+// bench_stream_micro, bench_host_exec and run_experiment.
+
+namespace simas::bench_support {
+
+/// Total host execution threads to use. Priority order:
+///  1. `requested`, when positive (an explicit config / sweep value);
+///  2. SIMAS_HOST_THREADS environment variable, when set to a positive
+///     integer (unparsable / non-positive values are ignored) — this is
+///     the knob for the auto path;
+///  3. std::thread::hardware_concurrency(), clamped to >= 1.
+int resolve_host_threads(int requested = 0);
+
+/// Split a total thread budget over `nranks` simulated ranks. Always >= 1
+/// per rank, even when nranks exceeds `threads_total` (the ranks are
+/// threads themselves, so oversubscription is already implied).
+int threads_per_rank(int threads_total, int nranks);
+
+}  // namespace simas::bench_support

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <mutex>
-#include <thread>
 
+#include "bench_support/host_threads.hpp"
 #include "mhd/solver.hpp"
 #include "mpisim/comm.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace simas::bench_support {
 
@@ -30,12 +31,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   const double vol_scale = cfg.scale.vol_scale(run_cells);
   const double surf_scale = cfg.scale.surf_scale(run_cells);
 
-  int threads_total = cfg.host_threads_total;
-  if (threads_total <= 0) {
-    threads_total =
-        std::max(1u, std::thread::hardware_concurrency());
-  }
-  const int threads_per_rank = std::max(1, threads_total / cfg.nranks);
+  // host_threads_total == 0 (the default) auto-detects: SIMAS_HOST_THREADS
+  // wins, else hardware concurrency; >= 1 thread per rank even when nranks
+  // exceeds the hardware.
+  const int threads_total = resolve_host_threads(cfg.host_threads_total);
+  const int rank_threads =
+      bench_support::threads_per_rank(threads_total, cfg.nranks);
 
   ExperimentResult result;
   result.ranks.resize(static_cast<std::size_t>(cfg.nranks));
@@ -44,7 +45,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   mpisim::World world(cfg.nranks);
   world.run([&](int rank) {
     par::EngineConfig ecfg =
-        variants::engine_config(cfg.version, cfg.device, threads_per_rank);
+        variants::engine_config(cfg.version, cfg.device, rank_threads);
     ecfg.graph_replay = cfg.graph_replay;
     ecfg.validate = cfg.validate;
     par::Engine engine(ecfg);
@@ -65,7 +66,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     const double gap0 =
         engine.ledger().total(gpusim::TimeCategory::LaunchGap);
     if (cfg.capture_trace && rank == 0) engine.tracer().enable(true);
+    Timer wall;
     for (int s = 0; s < cfg.measure_steps; ++s) solver.step();
+    const double host_dt = wall.seconds() / cfg.measure_steps;
     if (cfg.capture_trace && rank == 0) engine.tracer().enable(false);
     const double dt_step =
         (engine.ledger().now() - t0) / cfg.measure_steps;
@@ -75,6 +78,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     RankTiming timing;
     timing.seconds_per_step = dt_step;
     timing.mpi_seconds_per_step = dt_mpi;
+    timing.host_seconds_per_step = host_dt;
     timing.launch_gap_seconds_per_step =
         (engine.ledger().total(gpusim::TimeCategory::LaunchGap) - gap0) /
         cfg.measure_steps;
@@ -101,6 +105,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       worst_step = r.seconds_per_step;
       worst_mpi = r.mpi_seconds_per_step;
     }
+    result.host_seconds_per_step =
+        std::max(result.host_seconds_per_step, r.host_seconds_per_step);
   }
   result.wall_minutes = cfg.scale.minutes_for(worst_step);
   result.mpi_minutes = cfg.scale.minutes_for(worst_mpi);

@@ -40,6 +40,11 @@ struct ExperimentConfig {
 struct RankTiming {
   double seconds_per_step = 0.0;  ///< modeled, paper-scale
   double mpi_seconds_per_step = 0.0;
+  /// Real wall-clock seconds per measured step on this host (Timer, not
+  /// the modeled ClockLedger): the cost of actually executing the kernels
+  /// through the host execution layer. This is what bench_host_exec
+  /// optimizes; modeled time is unaffected by host-side scheduling.
+  double host_seconds_per_step = 0.0;
   /// Launch-overhead + UM-gap time per step (TimeCategory::LaunchGap),
   /// the quantity graph replay amortizes.
   double launch_gap_seconds_per_step = 0.0;
@@ -54,6 +59,9 @@ struct ExperimentResult {
   double wall_minutes = 0.0;
   double mpi_minutes = 0.0;
   double non_mpi_minutes() const { return wall_minutes - mpi_minutes; }
+  /// Slowest rank's real host wall-clock per measured step (see
+  /// RankTiming::host_seconds_per_step).
+  double host_seconds_per_step = 0.0;
 
   std::vector<RankTiming> ranks;
   mhd::GlobalDiagnostics final_diag;  ///< physics validation handle

@@ -25,14 +25,19 @@ class Array3 {
   idx size() const { return static_cast<idx>(data_.size()); }
   i64 bytes() const { return size() * static_cast<i64>(sizeof(real)); }
 
+  // Hot path: one strided offset plus a predictable not-taken branch.
+  // shadow_ is non-null only under SIMAS_VALIDATE (element tagging), so
+  // production runs pay a single compare-and-skip per access; validated
+  // runs take the unlikely branch but stay byte-identical in modeled time
+  // (the shadow never feeds the cost model).
   real& operator()(idx i, idx j, idx k) {
     const std::size_t off = offset(i, j, k);
-    if (shadow_ != nullptr) shadow_->note(off);
+    if (shadow_ != nullptr) [[unlikely]] shadow_->note(off);
     return data_[off];
   }
   real operator()(idx i, idx j, idx k) const {
     const std::size_t off = offset(i, j, k);
-    if (shadow_ != nullptr) shadow_->note(off);
+    if (shadow_ != nullptr) [[unlikely]] shadow_->note(off);
     return data_[off];
   }
 

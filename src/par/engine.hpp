@@ -28,6 +28,7 @@
 // validated against the capture and charged one per-graph launch overhead
 // instead of one per kernel. See DESIGN.md "Execution pipeline".
 
+#include <algorithm>
 #include <initializer_list>
 #include <limits>
 #include <memory>
@@ -228,25 +229,100 @@ class Engine {
   gpusim::ScaleClass resolve_scale(const KernelSite& site,
                                    std::initializer_list<Access> acc) const;
 
+  // ---- Host execution (see DESIGN.md §11 "Host execution layer") ----
+  //
+  // Determinism rules: anything that changes *which values are combined
+  // in which order* must depend on the problem shape only — never on the
+  // thread count or on who executes a block. Plain loops (execute3 /
+  // execute1 / execute_array_reduce) write each cell exactly once, so
+  // their grain is free to adapt to the shape; scalar reductions combine
+  // per-block partials in block order, so their partitioning is *pinned*
+  // (kReducePlanesPerBlock / kReduceChunk) — changing it would change
+  // partial-sum rounding and every golden result built on it.
+
+  /// Pinned reduction partitioning (frozen: determines partial-sum order).
+  static constexpr i64 kReducePlanesPerBlock = 8;
+  static constexpr i64 kReduceChunk = 4096;
+  /// Adaptive-grain target block count for plain loops: enough blocks to
+  /// feed/balance any plausible host, few enough that the per-block
+  /// claim fetch-add never dominates. Shape-derived only.
+  static constexpr i64 kTargetBlocks = 256;
+  /// Kernels with fewer cells than this run inline on the caller: at this
+  /// size the work is microseconds, so waking workers costs more than it
+  /// buys. Execution placement never affects results (the partition and
+  /// the partial-sum order are unchanged), only who runs the blocks.
+  static constexpr i64 kInlineCells = 4096;
+
+  /// Floor on the cells a plain-loop block should carry: below this the
+  /// fixed per-block cost (one div/mod for the (j,k) seed, loop setup)
+  /// rivals the cells themselves. Matches the 1-D chunk floor.
+  static constexpr i64 kMinBlockCells = 1024;
+
+  /// Planes per block for a plain 3-D loop: ~kTargetBlocks blocks, but
+  /// each block carries at least ~kMinBlockCells cells (small kernels
+  /// coalesce — an 8x8x8 kernel is one block, not 64 one-plane blocks).
+  /// A 4-plane kernel with a long i extent still gets 4 blocks (not 1);
+  /// a million-plane loop still caps near kTargetBlocks claims. Derived
+  /// from the iteration-space shape only, never the thread count.
+  static i64 plane_grain(i64 planes, i64 ni) {
+    const i64 spread = ceil_div(planes, kTargetBlocks);
+    const i64 fill = ceil_div(kMinBlockCells, std::max<i64>(1, ni));
+    return std::max<i64>(1, std::max(spread, std::min(fill, planes)));
+  }
+  /// Chunk for a plain 1-D loop: ~kTargetBlocks blocks, but never chunks
+  /// so small that the claim overhead shows.
+  static i64 chunk_grain(i64 n) {
+    return std::max<i64>(kMinBlockCells, ceil_div(n, kTargetBlocks));
+  }
+
+  /// Run fn(b) for b in [0, nblocks): inline for small kernels, else on
+  /// the pool. Blocks execute exactly once either way; results are
+  /// identical by construction.
+  template <class Fn>
+  void dispatch_blocks(i64 nblocks, i64 cells, Fn&& fn) {
+    if (cells <= kInlineCells) {
+      for (i64 b = 0; b < nblocks; ++b) fn(b);
+    } else {
+      pool_.run_blocks(nblocks, fn);
+    }
+  }
+
   template <class F>
   void execute3(Range3 r, F&& body) {
-    const idx nj = r.nj(), nk = r.nk();
+    // The shadow/iteration-tagging path is selected once per launch (a
+    // separate template instantiation), not per element: plain runs
+    // carry zero per-iteration validation cost. Validated runs stay
+    // byte-identical in modeled time — the validator observes the op
+    // stream and element accesses but never touches the clock ledger.
+    if (shadow_exec_)
+      execute3_impl<true>(r, body);
+    else
+      execute3_impl<false>(r, body);
+  }
+
+  template <bool kShadow, class F>
+  void execute3_impl(Range3 r, F& body) {
+    const idx nj = r.nj();
     const i64 ni = r.ni();
-    const i64 planes = static_cast<i64>(nj) * nk;
+    const i64 planes = static_cast<i64>(nj) * r.nk();
     if (planes <= 0 || ni <= 0) return;
-    // One block = a fixed number of (j,k) planes, independent of threads.
-    const i64 planes_per_block = 8;
-    const i64 nblocks = ceil_div(planes, planes_per_block);
-    const bool shadow = shadow_exec_;
-    pool_.run_blocks(nblocks, [&](i64 b) {
-      const i64 p0 = b * planes_per_block;
-      const i64 p1 = std::min<i64>(planes, p0 + planes_per_block);
+    const i64 ppb = plane_grain(planes, ni);
+    const i64 nblocks = ceil_div(planes, ppb);
+    dispatch_blocks(nblocks, planes * ni, [&](i64 b) {
+      const i64 p0 = b * ppb;
+      const i64 p1 = std::min<i64>(planes, p0 + ppb);
+      // Incremental (j,k) walk: one div/mod per block, not per plane.
+      idx j = r.j0 + static_cast<idx>(p0 % nj);
+      idx k = r.k0 + static_cast<idx>(p0 / nj);
       for (i64 p = p0; p < p1; ++p) {
-        const idx k = r.k0 + static_cast<idx>(p / nj);
-        const idx j = r.j0 + static_cast<idx>(p % nj);
         for (idx i = r.i0; i < r.i1; ++i) {
-          if (shadow) analysis::set_current_iteration(p * ni + (i - r.i0));
+          if constexpr (kShadow)
+            analysis::set_current_iteration(p * ni + (i - r.i0));
           body(i, j, k);
+        }
+        if (++j == r.j1) {
+          j = r.j0;
+          ++k;
         }
       }
     });
@@ -254,16 +330,23 @@ class Engine {
 
   template <class F>
   void execute1(Range1 r, F&& body) {
+    if (shadow_exec_)
+      execute1_impl<true>(r, body);
+    else
+      execute1_impl<false>(r, body);
+  }
+
+  template <bool kShadow, class F>
+  void execute1_impl(Range1 r, F& body) {
     const i64 n = r.count();
     if (n <= 0) return;
-    const i64 chunk = 4096;
+    const i64 chunk = chunk_grain(n);
     const i64 nblocks = ceil_div(n, chunk);
-    const bool shadow = shadow_exec_;
-    pool_.run_blocks(nblocks, [&](i64 b) {
-      const idx lo = r.begin + b * chunk;
-      const idx hi = std::min<idx>(r.end, lo + chunk);
+    dispatch_blocks(nblocks, n, [&](i64 b) {
+      const idx lo = r.begin + static_cast<idx>(b * chunk);
+      const idx hi = std::min<idx>(r.end, lo + static_cast<idx>(chunk));
       for (idx i = lo; i < hi; ++i) {
-        if (shadow) analysis::set_current_iteration(i - r.begin);
+        if constexpr (kShadow) analysis::set_current_iteration(i - r.begin);
         body(i);
       }
     });
@@ -273,22 +356,33 @@ class Engine {
     return std::numeric_limits<real>::lowest();
   }
 
+  /// Per-block partial results, sized on demand and reused across calls:
+  /// reductions are allocation-free in steady state (PCG calls two dot
+  /// products per inner iteration — a malloc here sits in the innermost
+  /// solver loop). Every entry in [0, nblocks) is written by its block
+  /// before being combined, so no re-initialization is needed.
+  real* reduce_partials(i64 nblocks) {
+    if (static_cast<i64>(partials_.size()) < nblocks)
+      partials_.resize(static_cast<std::size_t>(nblocks));
+    return partials_.data();
+  }
+
   template <class F>
   real reduce3(Range3 r, F&& term, bool take_max) {
     const idx nj = r.nj(), nk = r.nk();
     const i64 planes = static_cast<i64>(nj) * nk;
     if (planes <= 0 || r.ni() <= 0) return take_max ? max_identity() : 0.0;
-    const i64 planes_per_block = 8;
+    // Pinned partitioning: partial-sum order is part of the results.
+    const i64 planes_per_block = kReducePlanesPerBlock;
     const i64 nblocks = ceil_div(planes, planes_per_block);
-    std::vector<real> partial(static_cast<std::size_t>(nblocks),
-                              take_max ? max_identity() : 0.0);
-    pool_.run_blocks(nblocks, [&](i64 b) {
+    real* partial = reduce_partials(nblocks);
+    dispatch_blocks(nblocks, planes * r.ni(), [&](i64 b) {
       const i64 p0 = b * planes_per_block;
       const i64 p1 = std::min<i64>(planes, p0 + planes_per_block);
+      idx j = r.j0 + static_cast<idx>(p0 % nj);
+      idx k = r.k0 + static_cast<idx>(p0 / nj);
       real acc = take_max ? max_identity() : 0.0;
       for (i64 p = p0; p < p1; ++p) {
-        const idx k = r.k0 + static_cast<idx>(p / nj);
-        const idx j = r.j0 + static_cast<idx>(p % nj);
         for (idx i = r.i0; i < r.i1; ++i) {
           const real v = term(i, j, k);
           if (take_max) {
@@ -297,50 +391,63 @@ class Engine {
             acc += v;
           }
         }
+        if (++j == r.j1) {
+          j = r.j0;
+          ++k;
+        }
       }
-      partial[static_cast<std::size_t>(b)] = acc;
+      partial[b] = acc;
     });
     real total = take_max ? max_identity() : 0.0;
-    for (const real v : partial) {
+    for (i64 b = 0; b < nblocks; ++b) {
       if (take_max) {
-        if (v > total) total = v;
+        if (partial[b] > total) total = partial[b];
       } else {
-        total += v;
+        total += partial[b];
       }
     }
     return total;
   }
 
-  /// Blocked 1-D sum with the same fixed-chunk partitioning as execute1:
+  /// Blocked 1-D sum with the pinned kReduceChunk partitioning:
   /// deterministic and thread-count invariant, like every other entry
   /// point.
   template <class F>
   real reduce1(Range1 r, F&& term) {
     const i64 n = r.count();
     if (n <= 0) return 0.0;
-    const i64 chunk = 4096;
+    const i64 chunk = kReduceChunk;
     const i64 nblocks = ceil_div(n, chunk);
-    std::vector<real> partial(static_cast<std::size_t>(nblocks), 0.0);
-    pool_.run_blocks(nblocks, [&](i64 b) {
-      const idx lo = r.begin + b * chunk;
-      const idx hi = std::min<idx>(r.end, lo + chunk);
+    real* partial = reduce_partials(nblocks);
+    dispatch_blocks(nblocks, n, [&](i64 b) {
+      const idx lo = r.begin + static_cast<idx>(b * chunk);
+      const idx hi = std::min<idx>(r.end, lo + static_cast<idx>(chunk));
       real acc = 0.0;
       for (idx i = lo; i < hi; ++i) acc += term(i);
-      partial[static_cast<std::size_t>(b)] = acc;
+      partial[b] = acc;
     });
     real total = 0.0;
-    for (const real v : partial) total += v;
+    for (i64 b = 0; b < nblocks; ++b) total += partial[b];
     return total;
   }
 
   template <class F>
   void execute_array_reduce(Range3 r, std::span<real> out, F&& term) {
+    if (shadow_exec_)
+      execute_array_reduce_impl<true>(r, out, term);
+    else
+      execute_array_reduce_impl<false>(r, out, term);
+  }
+
+  template <bool kShadow, class F>
+  void execute_array_reduce_impl(Range3 r, std::span<real> out, F& term) {
     const idx ni = r.ni();
     if (ni <= 0) return;
-    const i64 nblocks = ni;  // one block per output element: deterministic
-    const bool shadow = shadow_exec_;
-    pool_.run_blocks(nblocks, [&](i64 b) {
-      if (shadow) analysis::set_current_iteration(b);
+    // One block per output element: pinned (inner accumulation order is
+    // part of the results), like the scalar reductions.
+    const i64 nblocks = ni;
+    dispatch_blocks(nblocks, static_cast<i64>(r.count()), [&](i64 b) {
+      if constexpr (kShadow) analysis::set_current_iteration(b);
       const idx i = r.i0 + static_cast<idx>(b);
       real acc = 0.0;
       for (idx k = r.k0; k < r.k1; ++k)
@@ -362,6 +469,9 @@ class Engine {
   /// Validation on: the execute loops publish per-iteration ids so shadow
   /// slots can tag touched elements.
   bool shadow_exec_ = false;
+  /// Reused per-block partials scratch for reduce3/reduce1 (sized to the
+  /// largest reduction seen; steady-state reductions never allocate).
+  std::vector<real> partials_;
 
   // Graph capture/replay state.
   enum class GraphMode { Off, Capture, Replay, Diverged };

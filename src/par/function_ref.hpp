@@ -1,0 +1,54 @@
+#pragma once
+// Non-owning callable reference (the `function_ref` idiom, P0792): two raw
+// pointers instead of std::function's owning type-erasure. Constructing a
+// std::function from a capturing lambda heap-allocates when the capture
+// outgrows the small-buffer; FunctionRef never allocates and never copies
+// the callable, so it is the right handoff type for blocking calls like
+// ThreadPool::run_blocks where the callable outlives the call by
+// construction.
+//
+// Lifetime contract: a FunctionRef must not outlive the callable it was
+// built from. Use it only for "downward" parameters (callee finishes
+// before the caller's expression ends).
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace simas::par {
+
+template <class Sig>
+class FunctionRef;
+
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Null reference; calling it is undefined. Exists so the pool can hold
+  /// a FunctionRef member between jobs.
+  constexpr FunctionRef() = default;
+  constexpr FunctionRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : ctx_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* ctx, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(ctx))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(ctx_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  void* ctx_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
+
+}  // namespace simas::par

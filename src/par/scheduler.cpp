@@ -27,7 +27,7 @@ void Scheduler::consume(const StreamOp& op) {
   }
 }
 
-i64 Scheduler::touch_accesses(const std::vector<Access>& accesses,
+i64 Scheduler::touch_accesses(const AccessList& accesses,
                               i64 cells) {
   i64 bytes = 0;
   for (const Access& a : accesses) {

@@ -120,7 +120,7 @@ class Scheduler {
 
   /// Sum the logical bytes the op touches and notify the memory manager
   /// (unified-memory page migration). Returns the byte total.
-  i64 touch_accesses(const std::vector<Access>& accesses, i64 cells);
+  i64 touch_accesses(const AccessList& accesses, i64 cells);
   void charge_launch_and_bytes(const KernelSite& site, i64 bytes,
                                gpusim::ScaleClass scale, bool fused,
                                bool async, double extra_traffic_factor,

@@ -22,6 +22,7 @@
 #include "gpusim/cost_model.hpp"
 #include "gpusim/memory_manager.hpp"
 #include "par/kernel_site.hpp"
+#include "util/small_vec.hpp"
 #include "util/types.hpp"
 
 namespace simas::par {
@@ -35,6 +36,11 @@ struct Access {
 inline Access in(gpusim::ArrayId id) { return Access{id, false}; }
 inline Access out(gpusim::ArrayId id) { return Access{id, true}; }
 
+/// Per-op access list with inline storage: recording a kernel launch must
+/// not heap-allocate on the steady-state path (kernels rarely declare
+/// more than a handful of arrays; longer lists spill to the heap).
+using AccessList = SmallVec<Access, 8>;
+
 enum class OpKind { Launch, Reduce, ArrayReduce, Sync, FusionBreak };
 
 const char* op_kind_name(OpKind k);
@@ -43,7 +49,7 @@ const char* op_kind_name(OpKind k);
 struct KernelOp {
   const KernelSite* site = nullptr;  ///< stable pointer into the registry
   i64 cells = 0;                     ///< logical iteration-space size
-  std::vector<Access> accesses;
+  AccessList accesses;
   /// Traffic scale class resolved at record time (site flag or any
   /// surface-registered buffer among the accesses).
   gpusim::ScaleClass scale = gpusim::ScaleClass::Volume;

@@ -1,10 +1,12 @@
 #include "par/thread_pool.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace simas::par {
 
 ThreadPool::ThreadPool(int nthreads) : nthreads_(std::max(1, nthreads)) {
+  workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
   for (int t = 0; t < nthreads_ - 1; ++t) {
     workers_.emplace_back([this] { worker_loop(); });
   }
@@ -19,65 +21,157 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::run_blocks(i64 nblocks, const std::function<void(i64)>& fn) {
+void ThreadPool::capture_error() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error_ == nullptr) error_ = std::current_exception();
+  has_error_.store(true, std::memory_order_release);
+}
+
+void ThreadPool::run_one(const FunctionRef<void(i64)>& fn, i64 block,
+                         i64 nblocks) {
+  try {
+    fn(block);
+  } catch (...) {
+    // Count the block done regardless so the job always completes; the
+    // first exception is rethrown on the caller after the join.
+    capture_error();
+  }
+#ifndef NDEBUG
+  blocks_executed_.fetch_add(1, std::memory_order_relaxed);
+#endif
+  // seq_cst on the done-counter and the caller_waiting_ flag closes the
+  // store-buffer race between "worker: count done, then check if the
+  // caller sleeps" and "caller: announce sleep, then check the count":
+  // at least one side must see the other, so the last block's completion
+  // is never missed. (The RMW chain also publishes every block's writes
+  // to the caller's final load.)
+  if (blocks_done_.fetch_add(1, std::memory_order_seq_cst) + 1 == nblocks) {
+    if (caller_waiting_.load(std::memory_order_seq_cst)) {
+      // Empty critical section: the caller sets caller_waiting_ under the
+      // mutex before sleeping, so this cannot interleave between its
+      // final predicate check and the sleep. The flag keeps this mutex
+      // touch off the no-straggler fast path; the publisher never holds
+      // the mutex for long (it releases between claimers-fence checks),
+      // so this lock is always promptly available.
+      { std::lock_guard<std::mutex> lock(mutex_); }
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_blocks(i64 nblocks, FunctionRef<void(i64)> fn) {
   if (nblocks <= 0) return;
   if (nthreads_ == 1 || nblocks == 1) {
+    // Inline path: no shared state touched, exceptions propagate directly.
     for (i64 b = 0; b < nblocks; ++b) fn(b);
     return;
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    job_ = &fn;
-    nblocks_ = nblocks;
-    next_block_ = 0;
-    blocks_done_ = 0;
-    ++generation_;
-  }
-  cv_work_.notify_all();
 
-  // The calling thread participates as a worker for this job.
+  // Publish the job, generation-fenced: the slot may only be rewritten
+  // once no worker is still inside the claim loop of a previous
+  // generation (it could otherwise observe the slot mid-write, or apply
+  // the freshly reset cursor to the old job). Registering as a claimer
+  // requires the mutex, so publishing under the mutex with claimers_ == 0
+  // excludes both existing and new claimers. The mutex is *released*
+  // between checks: a straggler may still want it for a completion
+  // notify, so holding it while spinning could deadlock.
   for (;;) {
-    i64 block;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (claimers_.load(std::memory_order_acquire) == 0) {
+      job_ = fn;
+      nblocks_ = nblocks;
+      next_block_.store(0, std::memory_order_relaxed);
+      blocks_done_.store(0, std::memory_order_relaxed);
+#ifndef NDEBUG
+      blocks_executed_.store(0, std::memory_order_relaxed);
+#endif
+      generation_.fetch_add(1, std::memory_order_release);
+      break;
+    }
+    lock.unlock();
+    std::this_thread::yield();
+  }
+  // Cascading wake: rouse one worker; each woken worker wakes the next
+  // only while unclaimed blocks remain (see worker_loop). For jobs the
+  // caller drains by itself this avoids stampeding every parked worker
+  // through the mutex for nothing. A consumed-but-unneeded notify (the
+  // woken worker finds the cursor exhausted) is throughput-neutral: the
+  // caller never depends on workers for completion.
+  cv_work_.notify_one();
+
+  // The calling thread participates as a worker for this job. Claiming a
+  // block is one atomic fetch-add, uncontended in the common case.
+  for (;;) {
+    const i64 b = next_block_.fetch_add(1, std::memory_order_relaxed);
+    if (b >= nblocks) break;
+    run_one(fn, b, nblocks);
+  }
+
+  // Wait for stragglers: spin briefly (they are mid-block, typically
+  // microseconds away), then sleep on the CV for the long tail.
+  if (blocks_done_.load(std::memory_order_seq_cst) != nblocks) {
+    for (int spin = 0; spin < 256; ++spin) {
+      std::this_thread::yield();
+      if (blocks_done_.load(std::memory_order_seq_cst) == nblocks) break;
+    }
+    if (blocks_done_.load(std::memory_order_seq_cst) != nblocks) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      caller_waiting_.store(true, std::memory_order_seq_cst);
+      cv_done_.wait(lock, [&] {
+        return blocks_done_.load(std::memory_order_seq_cst) == nblocks;
+      });
+      caller_waiting_.store(false, std::memory_order_seq_cst);
+    }
+  }
+#ifndef NDEBUG
+  assert(blocks_executed_.load(std::memory_order_relaxed) == nblocks &&
+         "every block must execute exactly once per job");
+#endif
+
+  // Job teardown: blocks_done_ == nblocks guarantees no invocation is in
+  // flight; the claimers fence at the next publish guarantees the job
+  // slot is not overwritten while a late-waking worker could still read
+  // it. The borrowed callable may be destroyed as soon as we return.
+  if (has_error_.load(std::memory_order_acquire)) {
+    std::exception_ptr e;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (next_block_ >= nblocks_) break;
-      block = next_block_++;
+      e = error_;
+      error_ = nullptr;
+      has_error_.store(false, std::memory_order_relaxed);
     }
-    (*job_)(block);
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (++blocks_done_ == nblocks_) cv_done_.notify_all();
+    std::rethrow_exception(e);
   }
-
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [this] { return blocks_done_ == nblocks_; });
-  job_ = nullptr;  // under lock: workers compare against this pointer
 }
 
 void ThreadPool::worker_loop() {
   u64 seen_generation = 0;
   for (;;) {
-    const std::function<void(i64)>* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_work_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && generation_ != seen_generation &&
-                         next_block_ < nblocks_);
+        return stop_ ||
+               generation_.load(std::memory_order_acquire) != seen_generation;
       });
       if (stop_) return;
-      seen_generation = generation_;
-      job = job_;
+      seen_generation = generation_.load(std::memory_order_relaxed);
+      // Register as a claimer *under the mutex*: the publisher writes the
+      // job slot while holding it, so once registered we read a fully
+      // published job (or, having woken late, a stale-but-complete one
+      // whose cursor is already exhausted — harmless: never invoked).
+      claimers_.fetch_add(1, std::memory_order_acq_rel);
     }
+    const FunctionRef<void(i64)> fn = job_;
+    const i64 nblocks = nblocks_;
+    // Continue the wake cascade while there is still unclaimed work.
+    if (next_block_.load(std::memory_order_relaxed) < nblocks)
+      cv_work_.notify_one();
     for (;;) {
-      i64 block;
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (job_ != job || next_block_ >= nblocks_) break;
-        block = next_block_++;
-      }
-      (*job)(block);
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (++blocks_done_ == nblocks_) cv_done_.notify_all();
+      const i64 b = next_block_.fetch_add(1, std::memory_order_relaxed);
+      if (b >= nblocks) break;  // exhausted (or stale job): never invoke
+      run_one(fn, b, nblocks);
     }
+    claimers_.fetch_sub(1, std::memory_order_release);
   }
 }
 

@@ -1,14 +1,41 @@
 #pragma once
-// Small blocking fork-join thread pool used to execute kernel bodies on the
-// host. Work is partitioned into fixed-size blocks *independent of the
-// thread count* so that reductions built on top of it are deterministic.
+// Lock-free blocking fork-join thread pool used to execute kernel bodies
+// on the host. Work is partitioned into blocks by the *caller* (the
+// Engine), independent of the thread count, so reductions built on top
+// stay deterministic; the pool only decides which thread runs which block.
+//
+// Hot-path protocol (no mutex, no allocation):
+//  * block claiming  — one atomic fetch-add on a shared cursor per block;
+//  * completion      — one atomic fetch-add on a done-counter per block;
+//    the caller spins briefly on the counter, then sleeps on a CV.
+// The mutex + condition variables are used only at job *boundaries*: to
+// publish a new job to sleeping workers and to sleep while waiting for
+// stragglers. Job handoff is a FunctionRef (two raw pointers) instead of
+// a std::function, so launching a job never heap-allocates.
+//
+// Teardown is generation-fenced: a new job is published only under the
+// mutex *and* only once `claimers_ == 0`, i.e. no worker is still inside
+// the claim loop of the previous generation. A worker that wakes late
+// (after the job it was notified for has completed) registers as a
+// claimer, finds the cursor exhausted, and goes back to sleep without
+// ever invoking the stale callable — by the time run_blocks() returns,
+// blocks_done_ == nblocks guarantees no invocation is in flight, and the
+// claimers fence guarantees the job slot is not republished while any
+// late reader could still observe it. In debug builds the pool asserts
+// every block of a job executed exactly once.
+//
+// Exceptions thrown by a block are captured (first one wins), the block
+// is still counted as done so the job cannot deadlock, and the exception
+// is rethrown on the calling thread after the job completes.
 
+#include <atomic>
 #include <condition_variable>
-#include <functional>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "par/function_ref.hpp"
 #include "util/types.hpp"
 
 namespace simas::par {
@@ -26,24 +53,51 @@ class ThreadPool {
 
   /// Run fn(block_index) for block_index in [0, nblocks); blocks are
   /// distributed over the workers; blocks are executed exactly once.
-  /// Blocking: returns when all blocks are done.
-  void run_blocks(i64 nblocks, const std::function<void(i64)>& fn);
+  /// Blocking: returns when all blocks are done. The callable is borrowed
+  /// for the duration of the call only.
+  void run_blocks(i64 nblocks, FunctionRef<void(i64)> fn);
 
  private:
   void worker_loop();
+  /// Execute one claimed block: invoke, capture a thrown exception, count
+  /// the block done, and wake the caller if it was the last one.
+  void run_one(const FunctionRef<void(i64)>& fn, i64 block, i64 nblocks);
+  void capture_error() noexcept;
 
   int nthreads_;
   std::vector<std::thread> workers_;
 
+  // --- Job slot. Written by the publisher only while holding mutex_ with
+  // claimers_ == 0; read by workers only after registering in claimers_
+  // (under mutex_), which orders the reads after the publication.
+  FunctionRef<void(i64)> job_;
+  i64 nblocks_ = 0;
+
+  // --- Hot-path state (one cache line each to avoid false sharing
+  // between the claim cursor and the completion counter).
+  alignas(64) std::atomic<i64> next_block_{0};
+  alignas(64) std::atomic<i64> blocks_done_{0};
+
+  // --- Job-boundary signalling only.
   std::mutex mutex_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
-  const std::function<void(i64)>* job_ = nullptr;
-  i64 nblocks_ = 0;
-  i64 next_block_ = 0;
-  i64 blocks_done_ = 0;
-  u64 generation_ = 0;
-  bool stop_ = false;
+  std::atomic<u64> generation_{0};
+  /// Workers currently inside (or entering) the claim loop. The publisher
+  /// spins to zero before reusing the job slot (generation fence).
+  std::atomic<int> claimers_{0};
+  /// True only while the caller sleeps in cv_done_.wait; workers skip the
+  /// mutex/notify entirely otherwise (see run_one).
+  std::atomic<bool> caller_waiting_{false};
+  bool stop_ = false;  // written under mutex_, read under mutex_ in waits
+
+  // --- Error capture (cold path; guarded by mutex_).
+  std::atomic<bool> has_error_{false};
+  std::exception_ptr error_;
+
+#ifndef NDEBUG
+  std::atomic<i64> blocks_executed_{0};  ///< exactly-once debug accounting
+#endif
 };
 
 }  // namespace simas::par

@@ -1,0 +1,72 @@
+#pragma once
+// Small-buffer vector: the first InlineN elements live inside the object;
+// only growing past that spills to the heap. Used where a tiny
+// almost-always-short list sits on a hot path — e.g. the per-launch
+// Access list of the kernel-stream IR, where a std::vector would mean one
+// heap allocation per recorded kernel launch.
+//
+// Deliberately minimal: contiguous, copyable, forward-iterable. Once the
+// size exceeds InlineN all elements move to the spill vector and stay
+// there (no shrink-back), keeping data() trivial.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace simas {
+
+template <class T, std::size_t InlineN>
+class SmallVec {
+ public:
+  SmallVec() = default;
+
+  template <class It>
+  SmallVec(It first, It last) {
+    assign(first, last);
+  }
+
+  void clear() {
+    size_ = 0;
+    spill_.clear();
+  }
+
+  void push_back(const T& v) {
+    if (size_ < InlineN) {
+      inline_[size_] = v;
+    } else {
+      if (size_ == InlineN)
+        spill_.assign(inline_.begin(), inline_.end());
+      spill_.push_back(v);
+    }
+    ++size_;
+  }
+
+  template <class It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T* data() const {
+    return size_ <= InlineN ? inline_.data() : spill_.data();
+  }
+  T* data() { return size_ <= InlineN ? inline_.data() : spill_.data(); }
+
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& operator[](std::size_t i) { return data()[i]; }
+
+ private:
+  std::size_t size_ = 0;
+  std::array<T, InlineN> inline_{};
+  std::vector<T> spill_;
+};
+
+}  // namespace simas
