@@ -1,0 +1,149 @@
+// Overlapped halo exchange: exposed vs hidden MPI time per code version.
+//
+// Runs every GPU code version at several rank counts with the synchronous
+// exchange and with overlap_halo, and reports (a) the modeled wall-clock
+// delta and (b) how much MPI transfer time moved onto the copy stream
+// (hidden behind compute). The manual-memory versions (A, AD, D2XAd) can
+// hide their P2P transfers; the unified-memory versions (ADU, AD2XU, D2XU)
+// stage their exchanges through host-touched pages, which serialize with
+// compute (Fig. 4), so overlap recovers almost nothing for them.
+//
+// Usage: bench_halo_overlap [--ranks=2,8] [--steps=3]
+//                           [--out=BENCH_halo_overlap.json]
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/run_experiment.hpp"
+#include "util/table.hpp"
+#include "variants/code_version.hpp"
+
+using namespace simas;
+using bench_support::ExperimentConfig;
+using bench_support::run_experiment;
+
+namespace {
+
+struct Point {
+  std::string version;
+  int nranks = 0;
+  double wall_sync = 0.0;     // minutes
+  double wall_overlap = 0.0;  // minutes
+  double mpi_sync = 0.0;      // exposed MPI minutes, sync path
+  double mpi_overlap = 0.0;   // exposed MPI minutes, overlapped path
+  double hidden = 0.0;        // MPI minutes moved to the copy stream
+};
+
+Point measure(variants::CodeVersion version, int nranks, int steps) {
+  Point p;
+  p.version = variants::version_tag(version);
+  p.nranks = nranks;
+  for (const bool overlap : {false, true}) {
+    ExperimentConfig cfg;
+    cfg.version = version;
+    cfg.nranks = nranks;
+    cfg.grid = bench_support::bench_grid();
+    cfg.measure_steps = steps;
+    cfg.overlap_halo = overlap;
+    const auto res = run_experiment(cfg);
+    if (overlap) {
+      p.wall_overlap = res.wall_minutes;
+      p.mpi_overlap = res.mpi_minutes;
+      p.hidden = res.hidden_mpi_minutes;
+    } else {
+      p.wall_sync = res.wall_minutes;
+      p.mpi_sync = res.mpi_minutes;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> ranks = {2, 8};
+  int steps = 3;
+  std::string out = "BENCH_halo_overlap.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--ranks=", 0) == 0) {
+      ranks.clear();
+      std::string list = arg.substr(8);
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        ranks.push_back(std::stoi(list.substr(pos, comma - pos)));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg.rfind("--steps=", 0) == 0) {
+      steps = std::stoi(arg.substr(8));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  std::cout << "Overlapped halo exchange: exposed vs hidden MPI (modeled "
+               "minutes)\n\n";
+  std::vector<Point> points;
+  for (const int nranks : ranks) {
+    Table table(std::to_string(nranks) + " GPU(s)");
+    table.set_header({"version", "wall sync", "wall ovl", "saved", "MPI sync",
+                      "MPI ovl", "hidden"});
+    for (const auto version : variants::gpu_versions()) {
+      const Point p = measure(version, nranks, steps);
+      table.row()
+          .cell(p.version)
+          .cell(p.wall_sync, 2)
+          .cell(p.wall_overlap, 2)
+          .cell(p.wall_sync - p.wall_overlap, 2)
+          .cell(p.mpi_sync, 2)
+          .cell(p.mpi_overlap, 2)
+          .cell(p.hidden, 2);
+      points.push_back(p);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"halo_overlap\",\n  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(f,
+                 "    {\"version\": \"%s\", \"ranks\": %d, "
+                 "\"wall_minutes_sync\": %.6f, "
+                 "\"wall_minutes_overlap\": %.6f, "
+                 "\"mpi_minutes_sync\": %.6f, "
+                 "\"mpi_minutes_overlap\": %.6f, "
+                 "\"hidden_mpi_minutes\": %.6f}%s\n",
+                 p.version.c_str(), p.nranks, p.wall_sync, p.wall_overlap,
+                 p.mpi_sync, p.mpi_overlap, p.hidden,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+
+  // Sanity: overlap must never be slower, and only the manual-memory
+  // versions should hide a meaningful transfer fraction.
+  int bad = 0;
+  for (const auto& p : points) {
+    if (p.wall_overlap > p.wall_sync * (1.0 + 1e-12)) {
+      std::fprintf(stderr, "REGRESSION: %s ranks=%d overlap slower\n",
+                   p.version.c_str(), p.nranks);
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}

@@ -26,6 +26,7 @@ const char* check_name(Check c) {
     case Check::FusedConflict: return "fused-conflict";
     case Check::AsyncReductionNoWait: return "async-reduction-no-wait";
     case Check::AsyncHostAccessNoSync: return "async-host-access-no-sync";
+    case Check::InflightGhostRead: return "inflight-ghost-read";
   }
   return "?";
 }
@@ -40,6 +41,7 @@ Severity check_severity(Check c) {
     case Check::FusedConflict:
     case Check::AsyncReductionNoWait:
     case Check::AsyncHostAccessNoSync:
+    case Check::InflightGhostRead:
       return Severity::Error;
     case Check::KernelOutsideRegion:
     case Check::UnbalancedDataRegion:

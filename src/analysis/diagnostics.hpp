@@ -39,8 +39,12 @@ enum class Check {
                         ///< fusion chain (fusion would introduce a race)
   AsyncReductionNoWait, ///< reduction result consumed on the host while the
                         ///< site is still declared async-capable
-  AsyncHostAccessNoSync ///< host pulled data with device writes still in
+  AsyncHostAccessNoSync,///< host pulled data with device writes still in
                         ///< flight on the async queue (no device_sync)
+  // -- Overlapped halo exchange --
+  InflightGhostRead     ///< kernel read a ghost plane whose nonblocking
+                        ///< exchange has not been finish()ed (RAW race
+                        ///< against an unfinished recv)
 };
 
 const char* check_name(Check c);

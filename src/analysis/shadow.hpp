@@ -48,6 +48,8 @@ class ShadowSlot {
   void note(std::size_t off) {
     const Mode m = mode_;
     if (m == Mode::Idle) return;
+    if (inflight_.load(std::memory_order_acquire)) [[unlikely]]
+      note_inflight(off);
     if (!touched_.load(std::memory_order_relaxed))
       touched_.store(true, std::memory_order_relaxed);
     if (m != Mode::Touch) note_element(off);
@@ -58,6 +60,8 @@ class ShadowSlot {
 
   /// Element-tag conflict detection; defined in validator.cpp.
   void note_element(std::size_t off);
+  /// In-flight ghost-plane check (overlapped halo exchange); validator.cpp.
+  void note_inflight(std::size_t off);
 
   Validator* owner_ = nullptr;
   int array_id_ = -1;  ///< gpusim::ArrayId of the instrumented array
@@ -69,6 +73,17 @@ class ShadowSlot {
   /// Per-element last-writer tags, owned by the Validator (lazily sized to
   /// the array's allocation; entries: chain | op_slot | iteration).
   std::vector<std::atomic<u64>>* tags_ = nullptr;
+
+  // Overlapped halo exchange: while a nonblocking exchange is posted on
+  // this array, the radial ghost columns its finish() will overwrite are
+  // marked; any kernel-body access to them is a read of data still in
+  // flight. The columns are written on the rank thread before the release
+  // store of inflight_; pool threads pair it with the acquire load in
+  // note(), and begin/end only happen between kernel bodies.
+  std::atomic<bool> inflight_{false};
+  std::size_t inflight_stride_ = 0;  ///< radial stride: column = off % stride
+  int inflight_lo_ = -1;             ///< marked lo ghost column (i+g), -1 none
+  int inflight_hi_ = -1;             ///< marked hi ghost column, -1 none
 };
 
 }  // namespace simas::analysis

@@ -41,6 +41,13 @@ void ShadowSlot::note_element(std::size_t off) {
   }
 }
 
+void ShadowSlot::note_inflight(std::size_t off) {
+  if (inflight_stride_ == 0) return;
+  const int col = static_cast<int>(off % inflight_stride_);
+  if (col != inflight_lo_ && col != inflight_hi_) return;
+  owner_->report_inflight(*this);
+}
+
 Validator::Validator(const par::EngineConfig& cfg, gpusim::MemoryManager& mem)
     : cfg_(cfg), mem_(mem) {
   manual_gpu_ = cfg_.memory == gpusim::MemoryMode::Manual && cfg_.gpu;
@@ -269,6 +276,35 @@ void Validator::report_conflict(const ShadowSlot& slot, u64 prev_tag,
              "group is touched again by this kernel: fusing them into one "
              "launch introduces a race");
   }
+}
+
+void Validator::report_inflight(const ShadowSlot& slot) {
+  std::string array;
+  const auto it = arrays_.find(slot.array_id_);
+  if (it != arrays_.end()) array = it->second.name;
+  diagnose(Check::InflightGhostRead, current_site_, array,
+           "kernel touches a radial ghost plane whose nonblocking halo "
+           "exchange is still in flight: the unpack has not run, so the "
+           "value read races with the unfinished recv — finish the "
+           "exchange first, or restrict the kernel to the interior");
+}
+
+void Validator::begin_inflight_recv(gpusim::ArrayId id,
+                                    std::size_t radial_stride, int lo_column,
+                                    int hi_column) {
+  ArrayState& st = state_for(id);
+  if (!st.slot) return;
+  ShadowSlot& s = *st.slot;
+  s.inflight_stride_ = radial_stride;
+  s.inflight_lo_ = lo_column;
+  s.inflight_hi_ = hi_column;
+  s.inflight_.store(true, std::memory_order_release);
+}
+
+void Validator::end_inflight_recv(gpusim::ArrayId id) {
+  const auto it = arrays_.find(id);
+  if (it == arrays_.end() || !it->second.slot) return;
+  it->second.slot->inflight_.store(false, std::memory_order_release);
 }
 
 ShadowSlot* Validator::attach_shadow(gpusim::ArrayId id,

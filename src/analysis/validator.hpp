@@ -67,6 +67,17 @@ class Validator final : public gpusim::MemoryObserver {
   ShadowSlot* attach_shadow(gpusim::ArrayId id, std::size_t elements);
   void detach_shadow(gpusim::ArrayId id);
 
+  // ---- In-flight halo tracking (called by mpisim::HaloExchanger) ----
+  /// Mark the radial ghost columns of `id` whose overlapped exchange has
+  /// been posted but not finished: any kernel-body access to column
+  /// off % radial_stride in {lo_column, hi_column} is an InflightGhostRead
+  /// (RAW race against the unfinished recv). Columns are (i + nghost);
+  /// pass -1 to skip a side.
+  void begin_inflight_recv(gpusim::ArrayId id, std::size_t radial_stride,
+                           int lo_column, int hi_column);
+  /// Clear the marks (the exchange finished; unpack may now write them).
+  void end_inflight_recv(gpusim::ArrayId id);
+
   // ---- MemoryObserver ----
   void on_data_event(gpusim::DataEvent ev, gpusim::ArrayId id) override;
 
@@ -97,6 +108,8 @@ class Validator final : public gpusim::MemoryObserver {
   void drain_async_queue();
   /// Conflict sink for ShadowSlot::note_element (runs on pool threads).
   void report_conflict(const ShadowSlot& slot, u64 prev_tag, u64 new_tag);
+  /// Sink for ShadowSlot::note_inflight (runs on pool threads).
+  void report_inflight(const ShadowSlot& slot);
 
   const par::EngineConfig& cfg_;
   gpusim::MemoryManager& mem_;

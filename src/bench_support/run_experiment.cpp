@@ -48,6 +48,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
         variants::engine_config(cfg.version, cfg.device, rank_threads);
     ecfg.graph_replay = cfg.graph_replay;
     ecfg.validate = cfg.validate;
+    ecfg.overlap_halo = cfg.overlap_halo;
     par::Engine engine(ecfg);
     engine.cost().set_scales(vol_scale, surf_scale);
     engine.cost().set_working_set_shrink(static_cast<double>(cfg.nranks));
@@ -63,6 +64,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
     const double t0 = engine.ledger().now();
     const double mpi0 = engine.ledger().mpi_time();
+    const double hidden0 = engine.ledger().hidden_mpi_time();
     const double gap0 =
         engine.ledger().total(gpusim::TimeCategory::LaunchGap);
     if (cfg.capture_trace && rank == 0) engine.tracer().enable(true);
@@ -82,6 +84,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     timing.launch_gap_seconds_per_step =
         (engine.ledger().total(gpusim::TimeCategory::LaunchGap) - gap0) /
         cfg.measure_steps;
+    timing.hidden_mpi_seconds_per_step =
+        (engine.ledger().hidden_mpi_time() - hidden0) / cfg.measure_steps;
     timing.counters = engine.counters();
     timing.graph = engine.graph_stats();
 
@@ -99,17 +103,19 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     }
   });
 
-  double worst_step = 0.0, worst_mpi = 0.0;
+  double worst_step = 0.0, worst_mpi = 0.0, worst_hidden = 0.0;
   for (const auto& r : result.ranks) {
     if (r.seconds_per_step > worst_step) {
       worst_step = r.seconds_per_step;
       worst_mpi = r.mpi_seconds_per_step;
+      worst_hidden = r.hidden_mpi_seconds_per_step;
     }
     result.host_seconds_per_step =
         std::max(result.host_seconds_per_step, r.host_seconds_per_step);
   }
   result.wall_minutes = cfg.scale.minutes_for(worst_step);
   result.mpi_minutes = cfg.scale.minutes_for(worst_mpi);
+  result.hidden_mpi_minutes = cfg.scale.minutes_for(worst_hidden);
   return result;
 }
 

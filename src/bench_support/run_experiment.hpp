@@ -35,6 +35,11 @@ struct ExperimentConfig {
   /// (EngineConfig::validate; also forced by SIMAS_VALIDATE). Findings go
   /// to the log at Engine teardown; modeled time is unaffected.
   bool validate = false;
+  /// Overlapped (nonblocking) halo exchange: radial sends ride each
+  /// rank's copy stream behind independent kernels instead of blocking
+  /// the compute clock (EngineConfig::overlap_halo). Physics is
+  /// byte-identical; only the modeled MPI exposure changes.
+  bool overlap_halo = false;
 };
 
 struct RankTiming {
@@ -48,6 +53,11 @@ struct RankTiming {
   /// Launch-overhead + UM-gap time per step (TimeCategory::LaunchGap),
   /// the quantity graph replay amortizes.
   double launch_gap_seconds_per_step = 0.0;
+  /// MPI transfer time that ran on the copy stream, overlapped with
+  /// compute (ClockLedger::hidden_mpi_time): nonzero only under
+  /// overlap_halo, and ~zero for the unified-memory versions, whose
+  /// staged exchanges serialize with compute.
+  double hidden_mpi_seconds_per_step = 0.0;
   par::EngineCounters counters;
   par::GraphStats graph;
 };
@@ -58,6 +68,9 @@ struct ExperimentResult {
   /// closely).
   double wall_minutes = 0.0;
   double mpi_minutes = 0.0;
+  /// Overlapped MPI transfer minutes on the slowest rank (hidden behind
+  /// compute, not part of wall_minutes).
+  double hidden_mpi_minutes = 0.0;
   double non_mpi_minutes() const { return wall_minutes - mpi_minutes; }
   /// Slowest rank's real host wall-clock per measured step (see
   /// RankTiming::host_seconds_per_step).

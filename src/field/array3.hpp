@@ -25,6 +25,11 @@ class Array3 {
   idx size() const { return static_cast<idx>(data_.size()); }
   i64 bytes() const { return size() * static_cast<i64>(sizeof(real)); }
 
+  /// Stride between consecutive j at fixed (i,k): a flat offset's radial
+  /// column is off % radial_stride() = i + nghost. Used by the validator's
+  /// in-flight ghost tracking.
+  std::size_t radial_stride() const { return s2_; }
+
   // Hot path: one strided offset plus a predictable not-taken branch.
   // shadow_ is non-null only under SIMAS_VALIDATE (element tagging), so
   // production runs pay a single compare-and-skip per access; validated

@@ -17,8 +17,16 @@ double ClockLedger::wait_until(double t, TimeCategory cat) {
   return wait;
 }
 
+double ClockLedger::copy_enqueue(double cost) {
+  const double start = std::max(now_, copy_free_at_);
+  copy_free_at_ = start + std::max(cost, 0.0);
+  return copy_free_at_;
+}
+
 void ClockLedger::reset() {
   now_ = 0.0;
+  copy_free_at_ = 0.0;
+  hidden_mpi_ = 0.0;
   totals_.fill(0.0);
 }
 

@@ -44,8 +44,31 @@ class ClockLedger {
   double mark() const { return now_; }
   double elapsed_since(double mark) const { return now_ - mark; }
 
+  // ---- Copy stream (overlapped halo exchange) ----
+  // A second per-rank timeline modeling the DMA/copy engine: nonblocking
+  // sends enqueue their transfer here instead of advancing the compute
+  // clock. Busy intervals on this stream overlap the compute stream; the
+  // compute clock only pays when it waits on a transfer's completion time
+  // (Comm::wait -> wait_until). Transfer time absorbed behind compute is
+  // recorded as hidden MPI time so the harness can split exposed vs hidden.
+
+  /// Enqueue a transfer of length `cost` on the copy stream. The transfer
+  /// starts when both the stream is free and the compute clock has issued
+  /// it (max(now, copy_free_at)); returns the completion time.
+  double copy_enqueue(double cost);
+  /// Completion time of the last enqueued transfer (now() if idle).
+  double copy_free_at() const { return copy_free_at_; }
+
+  /// Attribute transfer time that the copy stream absorbed behind compute.
+  void note_hidden_mpi(double dt) {
+    if (dt > 0.0) hidden_mpi_ += dt;
+  }
+  double hidden_mpi_time() const { return hidden_mpi_; }
+
  private:
   double now_ = 0.0;
+  double copy_free_at_ = 0.0;
+  double hidden_mpi_ = 0.0;
   std::array<double, static_cast<int>(TimeCategory::kCount)> totals_{};
 };
 

@@ -60,13 +60,35 @@ inline real div_v(const State& st, const grid::LocalGrid& lg, idx i, idx j,
 // One combined advection + forces stage (predictor into wrk1..5, then a
 // fused block of copy-back kernels — prime kernel-fusion material for the
 // ACC model, and a block that fissions into five kernels under DC).
-void advect_and_forces(MhdContext& c, real dt) {
+//
+// With a pending overlapped center exchange (`pending_center` >= 0) and a
+// cost model under which the split pays, the five predictors run over the
+// interior radial planes while the halos are still in flight; the exchange
+// is finished afterwards and one combined boundary-shell launch evaluates
+// all five predictors on the planes that read the fresh ghosts. Every cell
+// is written exactly once with the same arithmetic, so the result is
+// byte-identical to the synchronous path.
+void advect_and_forces(MhdContext& c, real dt, int pending_center) {
   State& st = c.st;
   const grid::LocalGrid& lg = c.lg;
   const PhysicsConfig& ph = c.phys;
   const real gamma = ph.gamma;
   const real g0 = ph.gravity;
-  const par::Range3 interior{0, st.nloc, 0, st.nt, 0, st.np};
+
+  const bool split =
+      pending_center >= 0 &&
+      overlap_split_pays(c, static_cast<int>(st.center_fields().size()));
+  if (pending_center >= 0 && !split) {
+    // Overlap without a split: the transfer was hidden behind the BC/wrap
+    // kernels of the exchange window; just complete it before reading.
+    c.halo.finish_exchange_r(pending_center);
+    pending_center = -1;
+  }
+  // Interior planes exclude the ones adjacent to an in-flight ghost.
+  const idx ilo = (split && !c.lg.at_inner_boundary()) ? 1 : 0;
+  const idx ihi =
+      (split && !c.lg.at_outer_boundary()) ? st.nloc - 1 : st.nloc;
+  const par::Range3 interior{ilo, ihi, 0, st.nt, 0, st.np};
 
   static const par::KernelSite& site_vr =
       SIMAS_SITE("advance_vr", SiteKind::ParallelLoop, 31);
@@ -79,14 +101,8 @@ void advect_and_forces(MhdContext& c, real dt) {
   static const par::KernelSite& site_t =
       SIMAS_SITE("advance_temp", SiteKind::ParallelLoop, 32);
 
-  // --- velocity predictor: advection + pressure + gravity + J x B -------
-  c.eng.for_each(
-      site_vr, interior,
-      {par::in(st.rho.id()), par::in(st.temp.id()), par::in(st.vr.id()),
-       par::in(st.vt.id()), par::in(st.vp.id()), par::in(st.jct.id()),
-       par::in(st.jcp.id()), par::in(st.bct.id()), par::in(st.bcp.id()),
-       par::out(st.wrk1.id())},
-      [&, dt, g0](idx i, idx j, idx k) {
+  // --- predictor bodies (shared by interior and boundary-shell launches) --
+  auto vr_body = [&, dt, g0](idx i, idx j, idx k) {
         const real r = lg.rc(i);
         const real rho = std::max<real>(st.rho(i, j, k), 1.0e-12);
         const real vr0 = st.vr(i, j, k);
@@ -108,15 +124,9 @@ void advect_and_forces(MhdContext& c, real dt) {
                 st.jcp(i, j, k) * st.bct(i, j, k)) /
                rho;
         st.wrk1(i, j, k) = vr0 + dt * rhs;
-      });
+  };
 
-  c.eng.for_each(
-      site_vt, interior,
-      {par::in(st.rho.id()), par::in(st.temp.id()), par::in(st.vr.id()),
-       par::in(st.vt.id()), par::in(st.vp.id()), par::in(st.jcr.id()),
-       par::in(st.jcp.id()), par::in(st.bcr.id()), par::in(st.bcp.id()),
-       par::out(st.wrk2.id())},
-      [&, dt](idx i, idx j, idx k) {
+  auto vt_body = [&, dt](idx i, idx j, idx k) {
         const real r = lg.rc(i);
         const real cot = std::cos(lg.tc(j)) / lg.stc(j);
         const real rho = std::max<real>(st.rho(i, j, k), 1.0e-12);
@@ -137,15 +147,9 @@ void advect_and_forces(MhdContext& c, real dt) {
                 st.jcr(i, j, k) * st.bcp(i, j, k)) /
                rho;
         st.wrk2(i, j, k) = vt0 + dt * rhs;
-      });
+  };
 
-  c.eng.for_each(
-      site_vp, interior,
-      {par::in(st.rho.id()), par::in(st.temp.id()), par::in(st.vr.id()),
-       par::in(st.vt.id()), par::in(st.vp.id()), par::in(st.jcr.id()),
-       par::in(st.jct.id()), par::in(st.bcr.id()), par::in(st.bct.id()),
-       par::out(st.wrk3.id())},
-      [&, dt](idx i, idx j, idx k) {
+  auto vp_body = [&, dt](idx i, idx j, idx k) {
         const real r = lg.rc(i);
         const real cot = std::cos(lg.tc(j)) / lg.stc(j);
         const real rho = std::max<real>(st.rho(i, j, k), 1.0e-12);
@@ -166,14 +170,9 @@ void advect_and_forces(MhdContext& c, real dt) {
                 st.jct(i, j, k) * st.bcr(i, j, k)) /
                rho;
         st.wrk3(i, j, k) = vp0 + dt * rhs;
-      });
+  };
 
-  // --- density and temperature predictors -------------------------------
-  c.eng.for_each(
-      site_rho, interior,
-      {par::in(st.rho.id()), par::in(st.vr.id()), par::in(st.vt.id()),
-       par::in(st.vp.id()), par::out(st.wrk4.id())},
-      [&, dt](idx i, idx j, idx k) {
+  auto rho_body = [&, dt](idx i, idx j, idx k) {
         const real vr0 = st.vr(i, j, k);
         const real vt0 = st.vt(i, j, k);
         const real vp0 = st.vp(i, j, k);
@@ -183,13 +182,9 @@ void advect_and_forces(MhdContext& c, real dt) {
         const real dv = div_v(st, lg, i, j, k);
         st.wrk4(i, j, k) = std::max<real>(
             st.rho(i, j, k) - dt * (adv + st.rho(i, j, k) * dv), 1.0e-12);
-      });
+  };
 
-  c.eng.for_each(
-      site_t, interior,
-      {par::in(st.temp.id()), par::in(st.vr.id()), par::in(st.vt.id()),
-       par::in(st.vp.id()), par::out(st.wrk5.id())},
-      [&, dt, gamma](idx i, idx j, idx k) {
+  auto temp_body = [&, dt, gamma](idx i, idx j, idx k) {
         const real vr0 = st.vr(i, j, k);
         const real vt0 = st.vt(i, j, k);
         const real vp0 = st.vp(i, j, k);
@@ -201,9 +196,76 @@ void advect_and_forces(MhdContext& c, real dt) {
             st.temp(i, j, k) -
                 dt * (adv + (gamma - 1.0) * st.temp(i, j, k) * dv),
             1.0e-12);
-      });
+  };
+
+  // --- interior predictor launches (full range when not split) ----------
+  if (ihi > ilo) {
+    c.eng.for_each(
+        site_vr, interior,
+        {par::in(st.rho.id()), par::in(st.temp.id()), par::in(st.vr.id()),
+         par::in(st.vt.id()), par::in(st.vp.id()), par::in(st.jct.id()),
+         par::in(st.jcp.id()), par::in(st.bct.id()), par::in(st.bcp.id()),
+         par::out(st.wrk1.id())},
+        vr_body);
+    c.eng.for_each(
+        site_vt, interior,
+        {par::in(st.rho.id()), par::in(st.temp.id()), par::in(st.vr.id()),
+         par::in(st.vt.id()), par::in(st.vp.id()), par::in(st.jcr.id()),
+         par::in(st.jcp.id()), par::in(st.bcr.id()), par::in(st.bcp.id()),
+         par::out(st.wrk2.id())},
+        vt_body);
+    c.eng.for_each(
+        site_vp, interior,
+        {par::in(st.rho.id()), par::in(st.temp.id()), par::in(st.vr.id()),
+         par::in(st.vt.id()), par::in(st.vp.id()), par::in(st.jcr.id()),
+         par::in(st.jct.id()), par::in(st.bcr.id()), par::in(st.bct.id()),
+         par::out(st.wrk3.id())},
+        vp_body);
+    c.eng.for_each(
+        site_rho, interior,
+        {par::in(st.rho.id()), par::in(st.vr.id()), par::in(st.vt.id()),
+         par::in(st.vp.id()), par::out(st.wrk4.id())},
+        rho_body);
+    c.eng.for_each(
+        site_t, interior,
+        {par::in(st.temp.id()), par::in(st.vr.id()), par::in(st.vt.id()),
+         par::in(st.vp.id()), par::out(st.wrk5.id())},
+        temp_body);
+  }
+
+  // --- boundary shell: finish the exchange, then one combined launch ----
+  if (split) {
+    c.halo.finish_exchange_r(pending_center);
+    // The planes skipped above, now that their ghost neighbours arrived.
+    idx planes[2] = {0, 0};
+    idx nsh = 0;
+    if (ilo == 1) planes[nsh++] = 0;
+    if (ihi == st.nloc - 1) planes[nsh++] = st.nloc - 1;
+    const idx p0 = planes[0];
+    const idx p1 = nsh > 1 ? planes[1] : planes[0];
+    static const par::KernelSite& site_shell =
+        SIMAS_SITE("advance_shell", SiteKind::ParallelLoop, 0, false, false,
+                   true, /*surface_scaled=*/true);
+    c.eng.for_each(
+        site_shell, par::Range3{0, nsh, 0, st.nt, 0, st.np},
+        {par::in(st.rho.id()), par::in(st.temp.id()), par::in(st.vr.id()),
+         par::in(st.vt.id()), par::in(st.vp.id()), par::in(st.jcr.id()),
+         par::in(st.jct.id()), par::in(st.jcp.id()), par::in(st.bcr.id()),
+         par::in(st.bct.id()), par::in(st.bcp.id()), par::out(st.wrk1.id()),
+         par::out(st.wrk2.id()), par::out(st.wrk3.id()),
+         par::out(st.wrk4.id()), par::out(st.wrk5.id())},
+        [&, p0, p1](idx s, idx j, idx k) {
+          const idx i = s == 0 ? p0 : p1;
+          vr_body(i, j, k);
+          vt_body(i, j, k);
+          vp_body(i, j, k);
+          rho_body(i, j, k);
+          temp_body(i, j, k);
+        });
+  }
 
   // --- copy-back block: five data-independent loops in one fusion group --
+  const par::Range3 full{0, st.nloc, 0, st.nt, 0, st.np};
   static const par::KernelSite& cp1 =
       SIMAS_SITE("copyback_vr", SiteKind::ParallelLoop, 33);
   static const par::KernelSite& cp2 =
@@ -214,19 +276,19 @@ void advect_and_forces(MhdContext& c, real dt) {
       SIMAS_SITE("copyback_rho", SiteKind::ParallelLoop, 33);
   static const par::KernelSite& cp5 =
       SIMAS_SITE("copyback_temp", SiteKind::ParallelLoop, 33);
-  c.eng.for_each(cp1, interior,
+  c.eng.for_each(cp1, full,
                  {par::in(st.wrk1.id()), par::out(st.vr.id())},
                  [&](idx i, idx j, idx k) { st.vr(i, j, k) = st.wrk1(i, j, k); });
-  c.eng.for_each(cp2, interior,
+  c.eng.for_each(cp2, full,
                  {par::in(st.wrk2.id()), par::out(st.vt.id())},
                  [&](idx i, idx j, idx k) { st.vt(i, j, k) = st.wrk2(i, j, k); });
-  c.eng.for_each(cp3, interior,
+  c.eng.for_each(cp3, full,
                  {par::in(st.wrk3.id()), par::out(st.vp.id())},
                  [&](idx i, idx j, idx k) { st.vp(i, j, k) = st.wrk3(i, j, k); });
-  c.eng.for_each(cp4, interior,
+  c.eng.for_each(cp4, full,
                  {par::in(st.wrk4.id()), par::out(st.rho.id())},
                  [&](idx i, idx j, idx k) { st.rho(i, j, k) = st.wrk4(i, j, k); });
-  c.eng.for_each(cp5, interior,
+  c.eng.for_each(cp5, full,
                  {par::in(st.wrk5.id()), par::out(st.temp.id())},
                  [&](idx i, idx j, idx k) { st.temp(i, j, k) = st.wrk5(i, j, k); });
 }

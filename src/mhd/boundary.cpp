@@ -84,18 +84,75 @@ void apply_center_bcs(MhdContext& c) {
   }
 }
 
+bool overlap_active(const MhdContext& c) {
+  if (!c.eng.config().overlap_halo) return false;
+  // A rank with no radial neighbour has nothing to overlap; a 1-cell slab
+  // has no interior distinct from its boundary shell.
+  const bool inner = c.lg.at_inner_boundary();
+  const bool outer = c.lg.at_outer_boundary();
+  return !(inner && outer) && c.st.nloc >= 2;
+}
+
+bool overlap_split_pays(const MhdContext& c, int nfields) {
+  if (!overlap_active(c)) return false;
+  const auto& cfg = c.eng.config();
+  // Unified memory: the exchange stages through host-touched pages and
+  // serializes with compute (Fig. 4) — nothing can be hidden, so the
+  // extra boundary-shell launch never pays.
+  if (cfg.gpu && c.eng.memory().unified()) return false;
+  auto& cost = c.eng.cost();
+  const i64 bytes = static_cast<i64>(c.st.nt + 1) * c.st.np * nfields *
+                    static_cast<i64>(sizeof(real));
+  const double per_msg =
+      cfg.gpu ? cost.p2p_transfer_time(bytes, gpusim::ScaleClass::Surface)
+              : cost.host_transfer_time(bytes, gpusim::ScaleClass::Surface);
+  int neighbors = 0;
+  if (!c.lg.at_inner_boundary()) ++neighbors;
+  if (!c.lg.at_outer_boundary()) ++neighbors;
+  // Hideable time = transfer minus the posting latency the compute clock
+  // pays anyway; the split costs one extra kernel launch.
+  const double hidden =
+      neighbors * (per_msg - cost.device().p2p_latency_s);
+  return hidden > cost.device().launch_overhead_s;
+}
+
 void exchange_center_ghosts(MhdContext& c) {
   c.halo.exchange_r(c.st.center_fields());
   c.halo.wrap_phi(c.st.center_fields());
   apply_center_bcs(c);
 }
 
+int begin_exchange_center_ghosts(MhdContext& c) {
+  if (!overlap_active(c)) {
+    exchange_center_ghosts(c);
+    return -1;
+  }
+  // Post the radial exchange, then fill every locally computable ghost
+  // while the halos are in flight. The φ-wrap pack reads only owned radial
+  // planes and its unpack writes only φ ghosts; the physical BCs write θ
+  // ghosts and (at boundary ranks only) radial planes that have no
+  // neighbour — none of them touch the in-flight radial ghost planes, so
+  // the result is byte-identical to the synchronous order.
+  const int handle = c.halo.begin_exchange_r(c.st.center_fields());
+  c.halo.wrap_phi(c.st.center_fields());
+  apply_center_bcs(c);
+  return handle;
+}
+
 void apply_b_ghosts(MhdContext& c) {
   State& st = c.st;
   const idx nloc = st.nloc, nt = st.nt, np = st.np;
 
-  // Rank halos for the center-dimensioned face fields.
-  c.halo.exchange_r({&st.bt, &st.bp});
+  // Rank halos for the center-dimensioned face fields. Under overlap the
+  // exchange rides the copy stream while the φ wrap and wall kernels run
+  // (they read owned planes and write θ/φ ghosts only), and completes at
+  // the end of this routine.
+  int pending = -1;
+  if (overlap_active(c)) {
+    pending = c.halo.begin_exchange_r({&st.bt, &st.bp});
+  } else {
+    c.halo.exchange_r({&st.bt, &st.bp});
+  }
   c.halo.wrap_phi({&st.br, &st.bt, &st.bp});
 
   // θ-wall ghosts: bt is wall-normal (odd about the fixed wall flux), br
@@ -148,6 +205,8 @@ void apply_b_ghosts(MhdContext& c) {
                      }
                    });
   }
+
+  if (pending >= 0) c.halo.finish_exchange_r(pending);
 }
 
 }  // namespace simas::mhd

@@ -44,18 +44,21 @@ int conduction_update(MhdContext& c, real dt) {
                    const real t = std::max<real>(st.temp(i, j, k), 1.0e-12);
                    st.wrk2(i, j, k) = kappa0 * t * t * std::sqrt(t);
                  });
-  c.halo.exchange_r({&st.wrk2});
-  c.halo.wrap_phi({&st.wrk2});
+  const bool overlap = overlap_active(c);
+  if (overlap) {
+    // The κ halo hides behind the φ wrap of the same exchange window.
+    const int h = c.halo.begin_exchange_r({&st.wrk2});
+    c.halo.wrap_phi({&st.wrk2});
+    c.halo.finish_exchange_r(h);
+  } else {
+    c.halo.exchange_r({&st.wrk2});
+    c.halo.wrap_phi({&st.wrk2});
+  }
 
-  // Diffusion operator L(x) = ∇·(κ ∇x) in flux form (zero-flux physical
-  // boundaries; face κ by arithmetic mean). Shared by PCG and STS paths.
-  auto diffusion = [&](field::Field& x, field::Field& y) {
-    c.halo.exchange_r({&x});
-    c.halo.wrap_phi({&x});
-    c.eng.for_each(
-        site_mv, interior,
-        {par::in(x.id()), par::in(st.wrk2.id()), par::out(y.id())},
-        [&, nloc, nt, dph](idx i, idx j, idx k) {
+  // Diffusion cell body, shared by the interior and boundary-shell
+  // launches of the overlapped path.
+  auto diff_cell = [&, nloc, nt, dph](field::Field& x, field::Field& y,
+                                      idx i, idx j, idx k) {
           const real ctj0 = std::cos(lg.tf(j)), ctj1 = std::cos(lg.tf(j + 1));
           const real vol =
               (std::pow(lg.rf(i + 1), 3) - std::pow(lg.rf(i), 3)) / 3.0 *
@@ -92,7 +95,52 @@ int conduction_update(MhdContext& c, real dt) {
                           kf0 * (xc - x(i, j, k - 1)));
           }
           y(i, j, k) = flux / vol;
-        });
+  };
+
+  // Diffusion operator L(x) = ∇·(κ ∇x) in flux form (zero-flux physical
+  // boundaries; face κ by arithmetic mean). Shared by PCG and STS paths.
+  // Under overlap the exchange of x rides the copy stream behind the φ
+  // wrap; when the split pays, the interior stencil also runs while the
+  // halos are in flight and one boundary-shell launch covers the rest.
+  auto diffusion = [&](field::Field& x, field::Field& y) {
+    int pending = -1;
+    if (overlap) {
+      pending = c.halo.begin_exchange_r({&x});
+    } else {
+      c.halo.exchange_r({&x});
+    }
+    c.halo.wrap_phi({&x});
+    const bool split = pending >= 0 && overlap_split_pays(c, 1);
+    if (pending >= 0 && !split) {
+      c.halo.finish_exchange_r(pending);
+      pending = -1;
+    }
+    const idx ilo = (split && !lg.at_inner_boundary()) ? 1 : 0;
+    const idx ihi = (split && !lg.at_outer_boundary()) ? nloc - 1 : nloc;
+    if (ihi > ilo) {
+      c.eng.for_each(
+          site_mv, par::Range3{ilo, ihi, 0, nt, 0, np},
+          {par::in(x.id()), par::in(st.wrk2.id()), par::out(y.id())},
+          [&](idx i, idx j, idx k) { diff_cell(x, y, i, j, k); });
+    }
+    if (split) {
+      c.halo.finish_exchange_r(pending);
+      idx planes[2] = {0, 0};
+      idx nsh = 0;
+      if (ilo == 1) planes[nsh++] = 0;
+      if (ihi == nloc - 1) planes[nsh++] = nloc - 1;
+      const idx p0 = planes[0];
+      const idx p1 = nsh > 1 ? planes[1] : planes[0];
+      static const par::KernelSite& site_mv_shell =
+          SIMAS_SITE("cond_matvec_shell", SiteKind::ParallelLoop, 0, false,
+                     false, true, /*surface_scaled=*/true);
+      c.eng.for_each(
+          site_mv_shell, par::Range3{0, nsh, 0, nt, 0, np},
+          {par::in(x.id()), par::in(st.wrk2.id()), par::out(y.id())},
+          [&, p0, p1](idx s, idx j, idx k) {
+            diff_cell(x, y, s == 0 ? p0 : p1, j, k);
+          });
+    }
   };
 
   if (ph.sts_conduction) {

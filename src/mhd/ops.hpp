@@ -29,8 +29,29 @@ struct MhdContext {
 void exchange_center_ghosts(MhdContext& c);
 /// Physical-boundary ghosts only (no communication).
 void apply_center_bcs(MhdContext& c);
-/// Ghosts for the face-B fields (exchange + wrap + walls).
+/// Ghosts for the face-B fields (exchange + wrap + walls). Under
+/// EngineConfig::overlap_halo the radial exchange rides the copy stream
+/// while the φ wrap and wall kernels execute (none of them touch the
+/// in-flight radial ghosts), and is finished at the end.
 void apply_b_ghosts(MhdContext& c);
+
+/// True when the overlapped-exchange path is active on this rank:
+/// overlap_halo is set, the rank has at least one radial neighbour, and
+/// the slab is thick enough for an interior/boundary split.
+bool overlap_active(const MhdContext& c);
+/// True when an interior/boundary-shell kernel split pays for an exchange
+/// of `nfields` radially decomposed fields: the transfer time the split
+/// can hide (per the cost model) must exceed the extra shell launch it
+/// costs. Always false for unified memory — the staged exchange
+/// serializes with compute, so there is nothing to hide (Fig. 4).
+bool overlap_split_pays(const MhdContext& c, int nfields);
+/// Overlapped exchange_center_ghosts: post the radial exchange of the
+/// centered fields, then fill every locally computable ghost (φ wrap,
+/// physical BCs) while the halos are in flight. Returns the pending
+/// handle, which advect_and_forces finishes; falls back to the
+/// synchronous exchange_center_ghosts and returns -1 when overlap is
+/// inactive.
+int begin_exchange_center_ghosts(MhdContext& c);
 
 // --- cfl.cpp ----------------------------------------------------------
 /// Globally synchronized explicit stable time step (fast-mode + resistive).
@@ -48,7 +69,12 @@ void average_j_to_center(MhdContext& c);
 // --- advection.cpp ----------------------------------------------------
 /// Upwind advection plus pressure gradient, gravity, and Lorentz force.
 /// Produces predictor values in wrk1..wrk5 and copies them back.
-void advect_and_forces(MhdContext& c, real dt);
+/// `pending_center` is the handle returned by begin_exchange_center_ghosts
+/// (-1 = none): when the split pays, the five predictors run over the
+/// interior while the halos are in flight and one combined boundary-shell
+/// launch covers the freshly unpacked planes after finish; otherwise the
+/// exchange is finished up front and the predictors run full-range.
+void advect_and_forces(MhdContext& c, real dt, int pending_center = -1);
 
 // --- resistive.cpp ----------------------------------------------------
 /// Constrained-transport update of face B with E = -v x B + η J.

@@ -115,8 +115,13 @@ StepStats MasSolver::step() {
   MhdContext& c = *ctx_;
   StepStats stats;
 
-  // Ghost refresh for everything the explicit stages read.
-  exchange_center_ghosts(c);
+  // Ghost refresh for everything the explicit stages read. Under
+  // overlap_halo the center-field radial exchange stays in flight across
+  // every stage up to the advection predictors: the B ghosts, the centered
+  // B/J interpolations, and the CFL reduction read only B fields, J
+  // fields, or interior center cells, never the pending radial ghosts
+  // (the validator enforces this). advect_and_forces finishes it.
+  const int pending_center = begin_exchange_center_ghosts(c);
   apply_b_ghosts(c);
 
   // Center-interpolated B and J for the Lorentz force and the CFL limit.
@@ -127,7 +132,7 @@ StepStats MasSolver::step() {
   stats.dt = cfl_timestep(c);
 
   // Explicit advection + forces, then the CT induction update.
-  advect_and_forces(c, stats.dt);
+  advect_and_forces(c, stats.dt, pending_center);
   apply_center_bcs(c);
   ct_update(c, stats.dt);
 

@@ -180,6 +180,107 @@ void Comm::recv(int src, int tag, std::span<real> data, gpusim::ArrayId buf) {
   }
 }
 
+void Comm::isend(int dst, int tag, std::span<const real> data,
+                 gpusim::ArrayId buf) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("Comm::isend dst");
+  engine_.break_fusion();
+  auto& ledger = engine_.ledger();
+  const i64 bytes = static_cast<i64>(data.size() * sizeof(real));
+
+  bool staged = false;
+  const double t0 = ledger.now();
+  const double cost = transfer_cost(bytes, buf, dst, staged);
+  if (engine_.config().gpu && engine_.memory().device_direct_eligible(buf))
+    engine_.memory().note_device_read(buf);
+  else
+    engine_.memory().note_host_read(buf);
+
+  double available_at = 0.0;
+  if (!staged) {
+    // Manual P2P or CPU path: the copy engine moves the bytes while compute
+    // keeps running. The compute clock pays only the posting latency; the
+    // transfer itself lands on the copy stream and is accounted as hidden
+    // MPI time (it becomes exposed again only if a wait() catches up to it).
+    ledger.advance(engine_.cost().device().p2p_latency_s, TimeCategory::Mpi);
+    available_at = ledger.copy_enqueue(cost);
+    ledger.note_hidden_mpi(cost);
+    if (engine_.tracer().enabled())
+      engine_.tracer().record(available_at - cost, available_at,
+                              trace::Lane::AsyncCopy,
+                              "isend->" + std::to_string(dst));
+  } else {
+    // Unified memory cannot overlap: MPI faults the pages to the host
+    // (already charged by transfer_cost) and the staged copy serializes
+    // with compute, exactly like a blocking send — the Fig. 4 mechanism.
+    ledger.advance(cost, TimeCategory::Mpi);
+    available_at = ledger.now();
+    if (engine_.tracer().enabled())
+      engine_.tracer().record(t0, ledger.now(), trace::Lane::Migration,
+                              "isend->" + std::to_string(dst));
+  }
+
+  Message msg;
+  msg.payload.assign(data.begin(), data.end());
+  msg.available_at = available_at;
+  msg.staged_through_host = staged;
+
+  auto& box = *world_.mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queues[{rank_, tag}].push(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Request Comm::irecv(int src, int tag, std::span<real> data,
+                    gpusim::ArrayId buf) {
+  if (src < 0 || src >= size()) throw std::out_of_range("Comm::irecv src");
+  Request req;
+  req.src = src;
+  req.tag = tag;
+  req.data = data;
+  req.buf = buf;
+  req.active = true;
+  return req;
+}
+
+void Comm::wait(Request& req) {
+  if (!req.active) return;
+  engine_.break_fusion();
+  auto& ledger = engine_.ledger();
+
+  Message msg;
+  {
+    auto& box = *world_.mailboxes_[static_cast<std::size_t>(rank_)];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    auto& q = box.queues[{req.src, req.tag}];
+    box.cv.wait(lock, [&] { return !q.empty(); });
+    msg = std::move(q.front());
+    q.pop();
+  }
+  if (msg.payload.size() != req.data.size())
+    throw std::logic_error("Comm::wait: size mismatch");
+  std::copy(msg.payload.begin(), msg.payload.end(), req.data.begin());
+  if (engine_.config().gpu &&
+      engine_.memory().device_direct_eligible(req.buf))
+    engine_.memory().note_device_write(req.buf);
+  else
+    engine_.memory().note_host_write(req.buf);
+
+  const double t0 = ledger.now();
+  const double waited = ledger.wait_until(msg.available_at, TimeCategory::Mpi);
+  if (waited > 0.0 && engine_.tracer().enabled())
+    engine_.tracer().record(t0, ledger.now(), trace::Lane::MpiWait,
+                            "wait<-" + std::to_string(req.src));
+
+  if (msg.staged_through_host) {
+    engine_.memory().on_host_access(
+        req.buf, static_cast<i64>(req.data.size() * sizeof(real)),
+        TimeCategory::Mpi);
+  }
+  req.active = false;
+}
+
 double Comm::allreduce_sum(double v) {
   engine_.break_fusion();
   const auto& dev = engine_.cost().device();

@@ -44,6 +44,16 @@ struct Message {
 
 class World;
 
+/// Handle for a posted nonblocking receive (Comm::irecv). Completed by
+/// Comm::wait; trivially movable, inactive after completion.
+struct Request {
+  int src = -1;
+  int tag = 0;
+  std::span<real> data;
+  gpusim::ArrayId buf{};
+  bool active = false;
+};
+
 /// Per-rank communicator handle. Construct inside the rank function with the
 /// rank's Engine; not copyable, lives on the rank thread's stack.
 class Comm {
@@ -61,6 +71,23 @@ class Comm {
 
   /// Blocking receive into `data` (sizes must match the sent payload).
   void recv(int src, int tag, std::span<real> data, gpusim::ArrayId buf);
+
+  /// Nonblocking send: for manual-memory GPU buffers (P2P eligible) and CPU
+  /// ranks, the transfer runs on the rank's copy stream and overlaps the
+  /// compute clock, which pays only the posting latency; the hidden transfer
+  /// time is accounted via ClockLedger::note_hidden_mpi. Unified-memory
+  /// buffers cannot overlap — MPI must fault the pages to the host, which
+  /// serializes with compute exactly like a blocking send (the paper's
+  /// Fig. 4 mechanism).
+  void isend(int dst, int tag, std::span<const real> data,
+             gpusim::ArrayId buf);
+
+  /// Post a nonblocking receive. The payload is delivered by wait().
+  Request irecv(int src, int tag, std::span<real> data, gpusim::ArrayId buf);
+
+  /// Complete a posted irecv: blocks (modeled: waits until the matching
+  /// message's available_at) and copies the payload into the request's span.
+  void wait(Request& req);
 
   double allreduce_sum(double v);
   double allreduce_max(double v);

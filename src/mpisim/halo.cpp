@@ -2,6 +2,9 @@
 
 #include <span>
 #include <stdexcept>
+#include <string>
+
+#include "analysis/validator.hpp"
 
 namespace simas::mpisim {
 
@@ -9,6 +12,12 @@ namespace {
 constexpr int kTagRLo = 101;  // message travelling to the rank below
 constexpr int kTagRHi = 102;  // message travelling to the rank above
 constexpr int kTagPhi = 103;
+// Overlapped exchanges use a disjoint tag range, two tags per slot, so a
+// posted exchange can never be matched by a concurrent synchronous one.
+constexpr int kTagAsyncBase = 111;
+
+constexpr int async_tag_lo(int slot) { return kTagAsyncBase + 2 * slot; }
+constexpr int async_tag_hi(int slot) { return kTagAsyncBase + 2 * slot + 1; }
 
 using par::SiteKind;
 }  // namespace
@@ -41,14 +50,104 @@ HaloExchanger::HaloExchanger(par::Engine& engine, Comm& comm, const Slab& slab,
   recv_lo_.enter_data();
   recv_hi_.enter_data();
   phi_buf_.enter_data();
+  // The overlapped-exchange buffers exist only when the knob is on, so the
+  // synchronous baseline keeps bit-identical data-region accounting.
+  if (engine_.config().overlap_halo) {
+    for (int s = 0; s < kAsyncSlots; ++s) {
+      auto& slot = slots_[static_cast<std::size_t>(s)];
+      const std::string sfx = "_a" + std::to_string(s);
+      slot.send_lo = std::make_unique<field::Field>(
+          engine, "halo_send_lo" + sfx, nt + 1, np, max_fields, 0,
+          gpusim::ScaleClass::Surface);
+      slot.send_hi = std::make_unique<field::Field>(
+          engine, "halo_send_hi" + sfx, nt + 1, np, max_fields, 0,
+          gpusim::ScaleClass::Surface);
+      slot.recv_lo = std::make_unique<field::Field>(
+          engine, "halo_recv_lo" + sfx, nt + 1, np, max_fields, 0,
+          gpusim::ScaleClass::Surface);
+      slot.recv_hi = std::make_unique<field::Field>(
+          engine, "halo_recv_hi" + sfx, nt + 1, np, max_fields, 0,
+          gpusim::ScaleClass::Surface);
+      slot.send_lo->enter_data();
+      slot.send_hi->enter_data();
+      slot.recv_lo->enter_data();
+      slot.recv_hi->enter_data();
+    }
+  }
 }
 
 HaloExchanger::~HaloExchanger() {
+  for (auto& slot : slots_) {
+    if (!slot.send_lo) continue;
+    slot.send_lo->exit_data();
+    slot.send_hi->exit_data();
+    slot.recv_lo->exit_data();
+    slot.recv_hi->exit_data();
+  }
   send_lo_.exit_data();
   send_hi_.exit_data();
   recv_lo_.exit_data();
   recv_hi_.exit_data();
   phi_buf_.exit_data();
+}
+
+// Pack boundary planes: i = 0 to the rank below, i = n1-1 to the above.
+void HaloExchanger::pack_r(const std::vector<field::Field*>& fields,
+                           field::Field& lo, field::Field& hi) {
+  static const par::KernelSite& pack_site =
+      SIMAS_SITE("halo_pack_r", SiteKind::ParallelLoop, 0);
+  const int nf = static_cast<int>(fields.size());
+  for (int f = 0; f < nf; ++f) {
+    field::Field& fld = *fields[static_cast<std::size_t>(f)];
+    const idx n1 = fld.a().n1(), n2 = fld.a().n2(), n3 = fld.a().n3();
+    if (slab_.rank_below >= 0) {
+      engine_.for_each(pack_site, par::Range3{0, n2, 0, n3, f, f + 1},
+                       {par::in(fld.id()), par::out(lo.id())},
+                       [&](idx j, idx k, idx ff) {
+                         lo(j, k, ff) = fld(0, j, k);
+                       });
+    }
+    if (slab_.rank_above >= 0) {
+      engine_.for_each(pack_site, par::Range3{0, n2, 0, n3, f, f + 1},
+                       {par::in(fld.id()), par::out(hi.id())},
+                       [&, n1](idx j, idx k, idx ff) {
+                         hi(j, k, ff) = fld(n1 - 1, j, k);
+                       });
+    }
+  }
+}
+
+// Unpack into ghost layers i = -1 and i = n1.
+void HaloExchanger::unpack_r(const std::vector<field::Field*>& fields,
+                             field::Field& lo, field::Field& hi) {
+  static const par::KernelSite& unpack_site =
+      SIMAS_SITE("halo_unpack_r", SiteKind::ParallelLoop, 0);
+  const int nf = static_cast<int>(fields.size());
+  for (int f = 0; f < nf; ++f) {
+    field::Field& fld = *fields[static_cast<std::size_t>(f)];
+    const idx n1 = fld.a().n1(), n2 = fld.a().n2(), n3 = fld.a().n3();
+    if (slab_.rank_below >= 0) {
+      engine_.for_each(unpack_site, par::Range3{0, n2, 0, n3, f, f + 1},
+                       {par::in(lo.id()), par::out(fld.id())},
+                       [&](idx j, idx k, idx ff) {
+                         fld(-1, j, k) = lo(j, k, ff);
+                       });
+    }
+    if (slab_.rank_above >= 0) {
+      engine_.for_each(unpack_site, par::Range3{0, n2, 0, n3, f, f + 1},
+                       {par::in(hi.id()), par::out(fld.id())},
+                       [&, n1](idx j, idx k, idx ff) {
+                         fld(n1, j, k) = hi(j, k, ff);
+                       });
+    }
+  }
+}
+
+void HaloExchanger::account_r_sends(i64 count) {
+  if (slab_.rank_below >= 0)
+    bytes_sent_r_ += count * static_cast<i64>(sizeof(real));
+  if (slab_.rank_above >= 0)
+    bytes_sent_r_ += count * static_cast<i64>(sizeof(real));
 }
 
 void HaloExchanger::exchange_r(const std::vector<field::Field*>& fields) {
@@ -58,32 +157,9 @@ void HaloExchanger::exchange_r(const std::vector<field::Field*>& fields) {
     throw std::invalid_argument("HaloExchanger: too many fields");
   const i64 count = static_cast<i64>(nt_ + 1) * np_ * nf;
 
-  static const par::KernelSite& pack_site =
-      SIMAS_SITE("halo_pack_r", SiteKind::ParallelLoop, 0);
-  static const par::KernelSite& unpack_site =
-      SIMAS_SITE("halo_unpack_r", SiteKind::ParallelLoop, 0);
-
   par::Engine::CategoryScope mpi_scope(engine_, gpusim::TimeCategory::Mpi);
 
-  // Pack boundary planes: i = 0 to the rank below, i = n1-1 to the above.
-  for (int f = 0; f < nf; ++f) {
-    field::Field& fld = *fields[static_cast<std::size_t>(f)];
-    const idx n1 = fld.a().n1(), n2 = fld.a().n2(), n3 = fld.a().n3();
-    if (slab_.rank_below >= 0) {
-      engine_.for_each(pack_site, par::Range3{0, n2, 0, n3, f, f + 1},
-                       {par::in(fld.id()), par::out(send_lo_.id())},
-                       [&](idx j, idx k, idx ff) {
-                         send_lo_(j, k, ff) = fld(0, j, k);
-                       });
-    }
-    if (slab_.rank_above >= 0) {
-      engine_.for_each(pack_site, par::Range3{0, n2, 0, n3, f, f + 1},
-                       {par::in(fld.id()), par::out(send_hi_.id())},
-                       [&, n1](idx j, idx k, idx ff) {
-                         send_hi_(j, k, ff) = fld(n1 - 1, j, k);
-                       });
-    }
-  }
+  pack_r(fields, send_lo_, send_hi_);
 
   // Buffered sends first, then blocking receives: no deadlock.
   if (slab_.rank_below >= 0) {
@@ -91,15 +167,14 @@ void HaloExchanger::exchange_r(const std::vector<field::Field*>& fields) {
                std::span<const real>(send_lo_.a().data(),
                                      static_cast<std::size_t>(count)),
                send_lo_.id());
-    bytes_sent_ += count * static_cast<i64>(sizeof(real));
   }
   if (slab_.rank_above >= 0) {
     comm_.send(slab_.rank_above, kTagRHi,
                std::span<const real>(send_hi_.a().data(),
                                      static_cast<std::size_t>(count)),
                send_hi_.id());
-    bytes_sent_ += count * static_cast<i64>(sizeof(real));
   }
+  account_r_sends(count);
   if (slab_.rank_below >= 0) {
     comm_.recv(slab_.rank_below, kTagRHi,
                std::span<real>(recv_lo_.a().data(),
@@ -113,26 +188,98 @@ void HaloExchanger::exchange_r(const std::vector<field::Field*>& fields) {
                recv_hi_.id());
   }
 
-  // Unpack into ghost layers i = -1 and i = n1.
-  for (int f = 0; f < nf; ++f) {
-    field::Field& fld = *fields[static_cast<std::size_t>(f)];
-    const idx n1 = fld.a().n1(), n2 = fld.a().n2(), n3 = fld.a().n3();
-    if (slab_.rank_below >= 0) {
-      engine_.for_each(unpack_site, par::Range3{0, n2, 0, n3, f, f + 1},
-                       {par::in(recv_lo_.id()), par::out(fld.id())},
-                       [&](idx j, idx k, idx ff) {
-                         fld(-1, j, k) = recv_lo_(j, k, ff);
-                       });
-    }
-    if (slab_.rank_above >= 0) {
-      engine_.for_each(unpack_site, par::Range3{0, n2, 0, n3, f, f + 1},
-                       {par::in(recv_hi_.id()), par::out(fld.id())},
-                       [&, n1](idx j, idx k, idx ff) {
-                         fld(n1, j, k) = recv_hi_(j, k, ff);
-                       });
+  unpack_r(fields, recv_lo_, recv_hi_);
+  engine_.break_fusion();
+}
+
+int HaloExchanger::begin_exchange_r(const std::vector<field::Field*>& fields) {
+  const int nf = static_cast<int>(fields.size());
+  if (nf == 0 || nf > max_fields_)
+    throw std::invalid_argument("HaloExchanger: bad field count");
+  if (!engine_.config().overlap_halo)
+    throw std::logic_error(
+        "HaloExchanger::begin_exchange_r requires EngineConfig::overlap_halo");
+
+  int handle = -1;
+  for (int s = 0; s < kAsyncSlots; ++s)
+    if (!slots_[static_cast<std::size_t>(s)].active) { handle = s; break; }
+  if (handle < 0)
+    throw std::logic_error("HaloExchanger: all overlap slots in flight");
+  AsyncSlot& slot = slots_[static_cast<std::size_t>(handle)];
+
+  const i64 count = static_cast<i64>(nt_ + 1) * np_ * nf;
+  slot.fields = fields;
+  slot.count = count;
+  slot.active = true;
+
+  par::Engine::CategoryScope mpi_scope(engine_, gpusim::TimeCategory::Mpi);
+
+  pack_r(fields, *slot.send_lo, *slot.send_hi);
+
+  if (slab_.rank_below >= 0) {
+    comm_.isend(slab_.rank_below, async_tag_lo(handle),
+                std::span<const real>(slot.send_lo->a().data(),
+                                      static_cast<std::size_t>(count)),
+                slot.send_lo->id());
+    slot.req_lo = comm_.irecv(
+        slab_.rank_below, async_tag_hi(handle),
+        std::span<real>(slot.recv_lo->a().data(),
+                        static_cast<std::size_t>(count)),
+        slot.recv_lo->id());
+  }
+  if (slab_.rank_above >= 0) {
+    comm_.isend(slab_.rank_above, async_tag_hi(handle),
+                std::span<const real>(slot.send_hi->a().data(),
+                                      static_cast<std::size_t>(count)),
+                slot.send_hi->id());
+    slot.req_hi = comm_.irecv(
+        slab_.rank_above, async_tag_lo(handle),
+        std::span<real>(slot.recv_hi->a().data(),
+                        static_cast<std::size_t>(count)),
+        slot.recv_hi->id());
+  }
+  account_r_sends(count);
+
+  // Tell the validator which ghost columns are now in flight: kernels
+  // touching them before finish_exchange_r race with the unfinished recv.
+  if (analysis::Validator* v = engine_.validator()) {
+    for (field::Field* fld : fields) {
+      const idx g = fld->a().nghost();
+      const int lo_col =
+          slab_.rank_below >= 0 ? static_cast<int>(g - 1) : -1;
+      const int hi_col =
+          slab_.rank_above >= 0 ? static_cast<int>(fld->a().n1() + g) : -1;
+      if (lo_col >= 0 || hi_col >= 0)
+        v->begin_inflight_recv(fld->id(), fld->a().radial_stride(), lo_col,
+                               hi_col);
     }
   }
+  return handle;
+}
+
+void HaloExchanger::finish_exchange_r(int handle) {
+  if (handle < 0 || handle >= kAsyncSlots)
+    throw std::out_of_range("HaloExchanger::finish_exchange_r handle");
+  AsyncSlot& slot = slots_[static_cast<std::size_t>(handle)];
+  if (!slot.active)
+    throw std::logic_error("HaloExchanger: finish without matching begin");
+
+  par::Engine::CategoryScope mpi_scope(engine_, gpusim::TimeCategory::Mpi);
+
+  comm_.wait(slot.req_lo);
+  comm_.wait(slot.req_hi);
+
+  // The data has arrived: clear the in-flight marks before the unpack
+  // kernels legitimately write those ghost columns.
+  if (analysis::Validator* v = engine_.validator())
+    for (field::Field* fld : slot.fields) v->end_inflight_recv(fld->id());
+
+  unpack_r(slot.fields, *slot.recv_lo, *slot.recv_hi);
   engine_.break_fusion();
+
+  slot.fields.clear();
+  slot.count = 0;
+  slot.active = false;
 }
 
 void HaloExchanger::wrap_phi(const std::vector<field::Field*>& fields) {
@@ -163,12 +310,13 @@ void HaloExchanger::wrap_phi(const std::vector<field::Field*>& fields) {
   }
 
   // MAS communicates periodic boundaries through MPI even within one rank;
-  // the self-exchange reproduces the 1-GPU MPI fraction of Fig. 3.
+  // the self-exchange reproduces the 1-GPU MPI fraction of Fig. 3. It is
+  // one send like any other: counted once, at the full two-plane payload.
   comm_.send(comm_.rank(), kTagPhi,
              std::span<const real>(phi_buf_.a().data(),
                                    static_cast<std::size_t>(count)),
              phi_buf_.id());
-  bytes_sent_ += count * static_cast<i64>(sizeof(real));
+  bytes_sent_phi_ += count * static_cast<i64>(sizeof(real));
   comm_.recv(comm_.rank(), kTagPhi,
              std::span<real>(phi_buf_.a().data(),
                              static_cast<std::size_t>(count)),

@@ -14,6 +14,8 @@
 // Pack/unpack kernels run under the MPI time category: the paper counts
 // "buffer initialization/loading/unloading" as MPI time.
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "field/field.hpp"
@@ -40,10 +42,43 @@ class HaloExchanger {
   /// Periodic wrap of one φ ghost layer (self-exchange through MPI).
   void wrap_phi(const std::vector<field::Field*>& fields);
 
-  /// Logical bytes moved through MPI so far (run scale, sum of payloads).
-  i64 bytes_sent() const { return bytes_sent_; }
+  // ---- Overlapped exchange (requires EngineConfig::overlap_halo) ----
+  /// Post an overlapped radial exchange: pack kernels run now, the sends
+  /// go to the rank's copy stream (Comm::isend) and the receives are
+  /// posted. Interior kernels may run between begin and finish; the ghost
+  /// planes of the exchanged fields must not be touched until finish (the
+  /// validator flags such reads as InflightGhostRead). Returns a handle;
+  /// at most kAsyncSlots exchanges may be in flight per exchanger.
+  int begin_exchange_r(const std::vector<field::Field*>& fields);
+  /// Complete a posted exchange: wait on both neighbours, then unpack the
+  /// ghost layers exactly as the synchronous path does.
+  void finish_exchange_r(int handle);
+
+  /// Logical bytes moved through MPI so far (run scale, sum of payloads):
+  /// fields x boundary planes x plane elements x sizeof(real), counted
+  /// once per send on the sending rank (the wrap_phi self-exchange counts
+  /// once, like any other send).
+  i64 bytes_sent() const { return bytes_sent_r_ + bytes_sent_phi_; }
+  i64 bytes_sent_r() const { return bytes_sent_r_; }    ///< radial component
+  i64 bytes_sent_phi() const { return bytes_sent_phi_; } ///< φ-wrap component
+
+  static constexpr int kAsyncSlots = 2;
 
  private:
+  struct AsyncSlot {
+    std::unique_ptr<field::Field> send_lo, send_hi, recv_lo, recv_hi;
+    std::vector<field::Field*> fields;
+    Request req_lo, req_hi;
+    i64 count = 0;
+    bool active = false;
+  };
+
+  void pack_r(const std::vector<field::Field*>& fields, field::Field& lo,
+              field::Field& hi);
+  void unpack_r(const std::vector<field::Field*>& fields, field::Field& lo,
+                field::Field& hi);
+  void account_r_sends(i64 count);
+
   par::Engine& engine_;
   Comm& comm_;
   Slab slab_;
@@ -53,7 +88,13 @@ class HaloExchanger {
   // field). r-planes are (θ, φ); φ-planes are (r, θ).
   field::Field send_lo_, send_hi_, recv_lo_, recv_hi_;
   field::Field phi_buf_;
-  i64 bytes_sent_ = 0;
+  // Overlapped-exchange buffers, allocated only under overlap_halo so the
+  // synchronous baseline's data-region accounting is untouched. Each slot
+  // has its own buffers and tags, so a concurrent synchronous exchange (or
+  // a second overlapped one) cannot collide in the (src, tag) mailboxes.
+  std::array<AsyncSlot, kAsyncSlots> slots_;
+  i64 bytes_sent_r_ = 0;
+  i64 bytes_sent_phi_ = 0;
 };
 
 }  // namespace simas::mpisim

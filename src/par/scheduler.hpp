@@ -58,6 +58,12 @@ struct EngineConfig {
   /// (SIMAS_VALIDATE_FATAL). Reports drained via take_validation_report()
   /// before teardown do not trip this.
   bool validate_fatal = false;
+  /// Overlapped halo exchange: HaloExchanger posts nonblocking sends on the
+  /// rank's copy stream and the solver splits radial sweeps into interior
+  /// (runs while halos are in flight) and boundary-shell launches. Never
+  /// consulted by the Scheduler itself — accounting per op is unchanged;
+  /// only the op sequence differs. Off = synchronous golden reference.
+  bool overlap_halo = false;
   int host_threads = 1;          ///< real execution threads for kernels
   gpusim::DeviceSpec device = gpusim::a100_40gb();
 };

@@ -11,6 +11,7 @@ const char* lane_name(Lane lane) {
     case Lane::Migration: return "um-migration";
     case Lane::Transfer: return "transfer";
     case Lane::MpiWait: return "mpi-wait";
+    case Lane::AsyncCopy: return "async-copy";
   }
   return "?";
 }
@@ -37,7 +38,7 @@ void Recorder::render_ascii(std::ostream& os, double t0, double t1,
   if (t1 <= t0 || columns <= 0) return;
   const double dt = (t1 - t0) / columns;
   const Lane lanes[] = {Lane::Kernel, Lane::Migration, Lane::Transfer,
-                        Lane::MpiWait};
+                        Lane::MpiWait, Lane::AsyncCopy};
   for (const Lane lane : lanes) {
     std::string row(static_cast<std::size_t>(columns), '.');
     for (const auto& e : events_) {

@@ -18,6 +18,7 @@ enum class Lane {
   Migration,   ///< unified-memory page migrations (CPU-GPU)
   Transfer,    ///< peer-to-peer / staged MPI transfers
   MpiWait,     ///< blocking in MPI (load imbalance)
+  AsyncCopy,   ///< copy-stream transfers overlapping compute (isend)
 };
 
 const char* lane_name(Lane lane);

@@ -13,6 +13,8 @@
 #include "mhd/checkpoint.hpp"
 #include "mhd/solver.hpp"
 #include "mpisim/comm.hpp"
+#include "mpisim/decomposition.hpp"
+#include "mpisim/halo.hpp"
 #include "par/engine.hpp"
 #include "par/site_registry.hpp"
 #include "variants/code_version.hpp"
@@ -381,7 +383,84 @@ TEST(Async, HostPullWithoutDeviceSyncIsFlagged) {
 }
 
 // ---------------------------------------------------------------------
-// 5. Clean real streams, composition, registry, report plumbing.
+// 5. In-flight overlapped-halo hazard.
+
+TEST(Inflight, GhostReadDuringOverlappedExchangeIsFlagged) {
+  // An overlapped exchange has been posted but not finished; a kernel
+  // whose stencil reaches the radial ghost planes races the unfinished
+  // recv — exactly the bug the interior/boundary split exists to avoid.
+  mpisim::World world(2);
+  world.run([&](int rank) {
+    par::EngineConfig cfg = validating_config();
+    cfg.overlap_halo = true;
+    par::Engine eng(cfg);
+    mpisim::Comm comm(world, rank, eng);
+    const mpisim::Slab slab = mpisim::radial_slab(8, 2, rank);
+    const idx n = slab.n();
+    mpisim::HaloExchanger halo(eng, comm, slab, n, 4, 4);
+    field::Field f(eng, "an_inflight_a", n, 4, 4, 1);
+    f.enter_data();
+    static const par::KernelSite& site =
+        SIMAS_SITE("an_inflight_read", SiteKind::ParallelLoop, 0);
+    const int h = halo.begin_exchange_r({&f});
+    real sum = 0.0;
+    eng.for_each(site, par::Range3{0, n, 0, 4, 0, 4}, {par::in(f.id())},
+                 [&](idx i, idx j, idx k) {
+                   // Full-width radial stencil: touches a ghost plane whose
+                   // data has not arrived yet.
+                   sum += f(i - 1, j, k) + f(i + 1, j, k);
+                 });
+    halo.finish_exchange_r(h);
+    const ValidationReport rep = eng.take_validation_report();
+    const analysis::Diagnostic* d = rep.find(Check::InflightGhostRead);
+    ASSERT_NE(d, nullptr) << rep.to_string();
+    EXPECT_EQ(d->array, "an_inflight_a");
+    EXPECT_EQ(d->site, "an_inflight_read");
+    EXPECT_GT(rep.errors(), 0);
+    scrub(eng, {&f});
+  });
+}
+
+TEST(Inflight, InteriorBoundarySplitPassesClean) {
+  // The correct overlap pattern: while the exchange is in flight only the
+  // interior is computed (stencil never reaches a ghost); the boundary
+  // shell runs after finish_exchange_r and may then read the ghosts.
+  mpisim::World world(2);
+  world.run([&](int rank) {
+    par::EngineConfig cfg = validating_config();
+    cfg.overlap_halo = true;
+    par::Engine eng(cfg);
+    mpisim::Comm comm(world, rank, eng);
+    const mpisim::Slab slab = mpisim::radial_slab(8, 2, rank);
+    const idx n = slab.n();
+    mpisim::HaloExchanger halo(eng, comm, slab, n, 4, 4);
+    field::Field f(eng, "an_inflight_b", n, 4, 4, 1);
+    f.enter_data();
+    static const par::KernelSite& interior =
+        SIMAS_SITE("an_inflight_interior", SiteKind::ParallelLoop, 0);
+    static const par::KernelSite& shell =
+        SIMAS_SITE("an_inflight_shell", SiteKind::ParallelLoop, 0);
+    const int h = halo.begin_exchange_r({&f});
+    real sum = 0.0;
+    eng.for_each(interior, par::Range3{1, n - 1, 0, 4, 0, 4},
+                 {par::in(f.id())}, [&](idx i, idx j, idx k) {
+                   sum += f(i - 1, j, k) + f(i + 1, j, k);
+                 });
+    halo.finish_exchange_r(h);
+    // The ghosts are delivered: the boundary shell may read them now.
+    eng.for_each(shell, par::Range3{0, n, 0, 4, 0, 4}, {par::in(f.id())},
+                 [&](idx i, idx j, idx k) {
+                   sum += f(i - 1, j, k) + f(i + 1, j, k);
+                 });
+    const ValidationReport rep = eng.take_validation_report();
+    EXPECT_FALSE(rep.has(Check::InflightGhostRead)) << rep.to_string();
+    EXPECT_EQ(rep.errors(), 0) << rep.to_string();
+    scrub(eng, {&f});
+  });
+}
+
+// ---------------------------------------------------------------------
+// 6. Clean real streams, composition, registry, report plumbing.
 
 TEST(CleanStream, SolverOpStreamHasNoErrorsUnderManualAcc) {
   mpisim::World world(1);

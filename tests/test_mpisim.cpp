@@ -243,6 +243,82 @@ TEST(Halo, WrapPhiIsPeriodic) {
   });
 }
 
+TEST(Halo, BytesSentMatchesPayloadFormula) {
+  const idx nr = 12, nt = 5, np = 6;
+  for (const int nranks : {1, 2, 3}) {
+    World world(nranks);
+    world.run([&](int rank) {
+      par::Engine eng(manual_gpu());
+      Comm comm(world, rank, eng);
+      const Slab slab = radial_slab(nr, nranks, rank);
+      HaloExchanger halo(eng, comm, slab, slab.n(), nt, np);
+      field::Field a(eng, "a", slab.n(), nt, np, 1);
+      field::Field b(eng, "b", slab.n(), nt, np, 1);
+      EXPECT_EQ(halo.bytes_sent(), 0);
+
+      // Radial: one message of nf x (nt+1) x np reals per neighbour,
+      // counted on the sending rank.
+      halo.exchange_r({&a, &b});
+      const i64 neighbors =
+          (slab.rank_below >= 0 ? 1 : 0) + (slab.rank_above >= 0 ? 1 : 0);
+      const i64 r_payload = static_cast<i64>(nt + 1) * np * 2 *
+                            static_cast<i64>(sizeof(real));
+      EXPECT_EQ(halo.bytes_sent_r(), neighbors * r_payload);
+      EXPECT_EQ(halo.bytes_sent_phi(), 0);
+
+      // φ wrap: a self-exchange is one send like any other — counted
+      // once, at the full two-plane payload.
+      halo.wrap_phi({&a});
+      const i64 phi_payload = static_cast<i64>(slab.n() + 1) * (nt + 1) * 2 *
+                              static_cast<i64>(sizeof(real));
+      EXPECT_EQ(halo.bytes_sent_phi(), phi_payload);
+      EXPECT_EQ(halo.bytes_sent(), neighbors * r_payload + phi_payload);
+    });
+  }
+}
+
+TEST(Halo, OverlappedExchangeCountsSameBytes) {
+  const idx nr = 12, nt = 5, np = 6;
+  World world(2);
+  std::vector<i64> sync_bytes(2, 0), async_bytes(2, 0);
+  for (const bool overlap : {false, true}) {
+    world.run([&](int rank) {
+      par::EngineConfig cfg = manual_gpu();
+      cfg.overlap_halo = overlap;
+      par::Engine eng(cfg);
+      Comm comm(world, rank, eng);
+      const Slab slab = radial_slab(nr, 2, rank);
+      HaloExchanger halo(eng, comm, slab, slab.n(), nt, np);
+      field::Field f(eng, "f", slab.n(), nt, np, 1);
+      if (overlap) {
+        const int h = halo.begin_exchange_r({&f});
+        halo.finish_exchange_r(h);
+        async_bytes[static_cast<std::size_t>(rank)] = halo.bytes_sent();
+      } else {
+        halo.exchange_r({&f});
+        sync_bytes[static_cast<std::size_t>(rank)] = halo.bytes_sent();
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_GT(sync_bytes[static_cast<std::size_t>(r)], 0);
+    EXPECT_EQ(sync_bytes[static_cast<std::size_t>(r)],
+              async_bytes[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(Halo, BeginExchangeRequiresOverlapConfig) {
+  World world(1);
+  world.run([&](int rank) {
+    par::Engine eng(manual_gpu());  // overlap_halo not set
+    Comm comm(world, rank, eng);
+    const Slab slab = radial_slab(4, 1, 0);
+    HaloExchanger halo(eng, comm, slab, 4, 3, 5);
+    field::Field f(eng, "f", 4, 3, 5, 1);
+    EXPECT_THROW(halo.begin_exchange_r({&f}), std::logic_error);
+  });
+}
+
 TEST(Halo, RejectsTooManyFields) {
   World world(1);
   world.run([&](int rank) {

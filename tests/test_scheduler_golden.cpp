@@ -358,6 +358,24 @@ TEST(SchedulerGolden, AblationTogglesMatchSeedAccounting) {
   expect_identical(wrapped, "dc2x/wrapper-overhead");
 }
 
+TEST(SchedulerGolden, OverlapHaloFlagDoesNotChangeAccounting) {
+  // EngineConfig::overlap_halo is never consulted by the Scheduler:
+  // accounting per op is unchanged, only the op sequence emitted by the
+  // halo layer differs. The same script under the flag must reproduce the
+  // reference accounting bit-for-bit.
+  for (const LoopModel loops :
+       {LoopModel::Acc, LoopModel::Dc2018, LoopModel::Dc2x}) {
+    for (const gpusim::MemoryMode mem :
+         {gpusim::MemoryMode::Manual, gpusim::MemoryMode::Unified}) {
+      EngineConfig cfg = config_for(loops, mem);
+      cfg.overlap_halo = true;
+      const std::string label = std::string(loop_model_name(loops)) + "/" +
+                                gpusim::memory_mode_name(mem) + "/overlap";
+      expect_identical(cfg, label.c_str());
+    }
+  }
+}
+
 TEST(SchedulerGolden, BackendNamesFollowLoopModel) {
   for (const LoopModel loops :
        {LoopModel::Acc, LoopModel::Dc2018, LoopModel::Dc2x}) {
