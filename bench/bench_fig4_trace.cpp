@@ -8,8 +8,11 @@
 
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_support/run_experiment.hpp"
+#include "telemetry/perfetto.hpp"
 #include "util/table.hpp"
 #include "variants/code_version.hpp"
 
@@ -19,6 +22,7 @@ using bench_support::ExperimentConfig;
 namespace {
 
 struct TraceRun {
+  bench_support::ExperimentResult res;  ///< keeps rank_traces alive
   trace::Recorder rec;
   double t0 = 0.0, t1 = 0.0;
   double step_seconds = 0.0;
@@ -30,13 +34,13 @@ TraceRun trace_for(variants::CodeVersion version) {
   cfg.nranks = 8;
   cfg.grid = bench_support::bench_grid();
   cfg.capture_trace = true;
-  const auto res = bench_support::run_experiment(cfg);
   TraceRun out;
-  out.rec = res.trace;
-  out.t0 = res.trace_t0;
-  out.t1 = res.trace_t1;
-  out.step_seconds = res.ranks.empty() ? 0.0
-                                       : res.ranks[0].seconds_per_step;
+  out.res = bench_support::run_experiment(cfg);
+  out.rec = out.res.trace;
+  out.t0 = out.res.trace_t0;
+  out.t1 = out.res.trace_t1;
+  out.step_seconds =
+      out.res.ranks.empty() ? 0.0 : out.res.ranks[0].seconds_per_step;
   return out;
 }
 
@@ -87,7 +91,29 @@ int main() {
   manual.rec.write_csv(csv);
   std::ofstream csv2("fig4_trace_unified.csv");
   um.rec.write_csv(csv2);
+
+  // Combined Perfetto/Chrome trace: one process per (run, rank) so the
+  // manual-vs-unified contrast is visible side by side in the UI. Manual
+  // ranks get pids 0..N-1, unified ranks 100..100+N-1.
+  std::vector<telemetry::TraceSource> sources;
+  for (std::size_t r = 0; r < manual.res.rank_traces.size(); ++r)
+    sources.push_back({static_cast<int>(r),
+                       "manual/rank " + std::to_string(r),
+                       &manual.res.rank_traces[r]});
+  for (std::size_t r = 0; r < um.res.rank_traces.size(); ++r)
+    sources.push_back({100 + static_cast<int>(r),
+                       "unified/rank " + std::to_string(r),
+                       &um.res.rank_traces[r]});
+  std::ofstream perfetto("fig4_trace.perfetto.json");
+  telemetry::write_perfetto_json(perfetto, sources);
+
+  // Hot-spot profile of the manual run (all ranks merged).
+  std::ofstream prof("BENCH_profile.json");
+  manual.res.profile.write_json(prof);
+
   std::cout << "\nfull event traces written to fig4_trace_manual.csv / "
-               "fig4_trace_unified.csv\n";
+               "fig4_trace_unified.csv / fig4_trace.perfetto.json "
+               "(load in ui.perfetto.dev); hot-spot profile in "
+               "BENCH_profile.json\n";
   return 0;
 }

@@ -13,11 +13,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_support/run_experiment.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "variants/code_version.hpp"
 
@@ -35,6 +37,8 @@ struct Point {
   double mpi_sync = 0.0;      // exposed MPI minutes, sync path
   double mpi_overlap = 0.0;   // exposed MPI minutes, overlapped path
   double hidden = 0.0;        // MPI minutes moved to the copy stream
+  long long launches = 0;     // kernel launches, all ranks (sync path)
+  long long bytes = 0;        // bytes touched, all ranks (sync path)
 };
 
 Point measure(variants::CodeVersion version, int nranks, int steps) {
@@ -56,6 +60,8 @@ Point measure(variants::CodeVersion version, int nranks, int steps) {
     } else {
       p.wall_sync = res.wall_minutes;
       p.mpi_sync = res.mpi_minutes;
+      p.launches = res.metrics.counter("engine.launches");
+      p.bytes = res.metrics.counter("engine.bytes_touched");
     }
   }
   return p;
@@ -112,27 +118,29 @@ int main(int argc, char** argv) {
     std::cout << '\n';
   }
 
-  std::FILE* f = std::fopen(out.c_str(), "w");
-  if (f == nullptr) {
+  json::Value arr{json::Value::Array{}};
+  for (const auto& p : points) {
+    json::Value v{json::Value::Object{}};
+    v.set("version", p.version);
+    v.set("ranks", p.nranks);
+    v.set("wall_minutes_sync", p.wall_sync);
+    v.set("wall_minutes_overlap", p.wall_overlap);
+    v.set("mpi_minutes_sync", p.mpi_sync);
+    v.set("mpi_minutes_overlap", p.mpi_overlap);
+    v.set("hidden_mpi_minutes", p.hidden);
+    v.set("kernel_launches", p.launches);
+    v.set("bytes_touched", p.bytes);
+    arr.push_back(std::move(v));
+  }
+  json::Value doc{json::Value::Object{}};
+  doc.set("bench", "halo_overlap");
+  doc.set("points", std::move(arr));
+  std::ofstream jf(out);
+  if (!jf) {
     std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"halo_overlap\",\n  \"points\": [\n");
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto& p = points[i];
-    std::fprintf(f,
-                 "    {\"version\": \"%s\", \"ranks\": %d, "
-                 "\"wall_minutes_sync\": %.6f, "
-                 "\"wall_minutes_overlap\": %.6f, "
-                 "\"mpi_minutes_sync\": %.6f, "
-                 "\"mpi_minutes_overlap\": %.6f, "
-                 "\"hidden_mpi_minutes\": %.6f}%s\n",
-                 p.version.c_str(), p.nranks, p.wall_sync, p.wall_overlap,
-                 p.mpi_sync, p.mpi_overlap, p.hidden,
-                 i + 1 < points.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  json::write(jf, doc, 2);
   std::printf("wrote %s\n", out.c_str());
 
   // Sanity: overlap must never be slower, and only the manual-memory

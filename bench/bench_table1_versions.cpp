@@ -5,18 +5,31 @@
 // absolute numbers differ; the reduction ladder is the reproduction
 // target). The paper's measured values print alongside.
 
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench_support/run_experiment.hpp"
 #include "mhd/solver.hpp"
 #include "mpisim/comm.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "variants/directive_model.hpp"
 #include "variants/inventory.hpp"
 
 using namespace simas;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string out = "BENCH_table1_versions.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(6);
+    } else {
+      std::cerr << "unknown arg: " << arg << '\n';
+      return 1;
+    }
+  }
   // Instantiate and step a canonical solver so every kernel call-site
   // registers itself, then gather the inventory.
   variants::CodeInventory inv;
@@ -71,5 +84,41 @@ int main() {
     else
       std::cout << "ZERO directives\n";
   }
+
+  // BENCH JSON for the CI perf gate: directive counts for every version
+  // plus 1-rank modeled timing and launch counters for the GPU versions.
+  // Everything here is derived from the deterministic modeled clocks and
+  // the kernel-site inventory, so the numbers are bit-stable across hosts.
+  json::Value versions{json::Value::Array{}};
+  for (const auto& row : paper) {
+    const auto d = variants::directives_for(inv, row.version);
+    json::Value v{json::Value::Object{}};
+    v.set("version", std::string(variants::version_tag(row.version)));
+    v.set("total_lines", variants::total_lines_for(inv, row.version));
+    v.set("directive_lines", d.total());
+    if (row.version != variants::CodeVersion::Cpu) {
+      bench_support::ExperimentConfig ecfg;
+      ecfg.version = row.version;
+      ecfg.nranks = 1;
+      ecfg.grid = bench_support::bench_grid();
+      const auto res = bench_support::run_experiment(ecfg);
+      v.set("wall_minutes", res.wall_minutes);
+      v.set("mpi_minutes", res.mpi_minutes);
+      v.set("kernel_launches", res.metrics.counter("engine.launches"));
+      v.set("fused_launches", res.metrics.counter("engine.fused_launches"));
+      v.set("bytes_touched", res.metrics.counter("engine.bytes_touched"));
+    }
+    versions.push_back(std::move(v));
+  }
+  json::Value doc{json::Value::Object{}};
+  doc.set("bench", "table1_versions");
+  doc.set("versions", std::move(versions));
+  std::ofstream f(out);
+  if (!f) {
+    std::cerr << "cannot open " << out << " for writing\n";
+    return 1;
+  }
+  json::write(f, doc, 2);
+  std::cout << "\nwrote " << out << '\n';
   return 0;
 }

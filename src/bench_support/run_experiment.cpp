@@ -1,6 +1,8 @@
 #include "bench_support/run_experiment.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <iostream>
 #include <mutex>
 
 #include "bench_support/host_threads.hpp"
@@ -40,6 +42,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   ExperimentResult result;
   result.ranks.resize(static_cast<std::size_t>(cfg.nranks));
+  if (cfg.capture_trace)
+    result.rank_traces.resize(static_cast<std::size_t>(cfg.nranks));
   std::mutex result_mutex;
 
   mpisim::World world(cfg.nranks);
@@ -67,11 +71,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     const double hidden0 = engine.ledger().hidden_mpi_time();
     const double gap0 =
         engine.ledger().total(gpusim::TimeCategory::LaunchGap);
-    if (cfg.capture_trace && rank == 0) engine.tracer().enable(true);
+    if (cfg.capture_trace) engine.tracer().enable(true);
     Timer wall;
     for (int s = 0; s < cfg.measure_steps; ++s) solver.step();
     const double host_dt = wall.seconds() / cfg.measure_steps;
-    if (cfg.capture_trace && rank == 0) engine.tracer().enable(false);
+    if (cfg.capture_trace) engine.tracer().enable(false);
     const double dt_step =
         (engine.ledger().now() - t0) / cfg.measure_steps;
     const double dt_mpi =
@@ -88,11 +92,17 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
         (engine.ledger().hidden_mpi_time() - hidden0) / cfg.measure_steps;
     timing.counters = engine.counters();
     timing.graph = engine.graph_stats();
+    timing.metrics = engine.metrics_snapshot();
 
     const auto diag = solver.diagnostics();
+    const telemetry::SiteProfileSnapshot profile =
+        engine.site_profiler().snapshot();
 
     std::lock_guard<std::mutex> lock(result_mutex);
     result.ranks[static_cast<std::size_t>(rank)] = timing;
+    result.profile.merge_from(profile);
+    if (cfg.capture_trace)
+      result.rank_traces[static_cast<std::size_t>(rank)] = engine.tracer();
     if (rank == 0) {
       result.final_diag = diag;
       if (cfg.capture_trace) {
@@ -116,6 +126,19 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   result.wall_minutes = cfg.scale.minutes_for(worst_step);
   result.mpi_minutes = cfg.scale.minutes_for(worst_mpi);
   result.hidden_mpi_minutes = cfg.scale.minutes_for(worst_hidden);
+
+  // Cross-rank merged metrics (per-metric merge policy: counters sum,
+  // gauges Max/Sum as declared, histograms add bucket-wise).
+  for (const auto& r : result.ranks) result.metrics.merge_from(r.metrics);
+
+  const char* profile_env = std::getenv("SIMAS_PROFILE");
+  const bool profile_forced =
+      profile_env != nullptr && profile_env[0] != '\0' &&
+      profile_env[0] != '0';
+  if (cfg.profile || profile_forced) {
+    result.profile.print(std::cout);
+    std::cout << '\n';
+  }
   return result;
 }
 

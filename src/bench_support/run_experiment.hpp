@@ -11,6 +11,8 @@
 #include "mhd/config.hpp"
 #include "mhd/ops.hpp"
 #include "par/engine.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "trace/trace.hpp"
 #include "variants/code_version.hpp"
 
@@ -40,6 +42,11 @@ struct ExperimentConfig {
   /// the compute clock (EngineConfig::overlap_halo). Physics is
   /// byte-identical; only the modeled MPI exposure changes.
   bool overlap_halo = false;
+  /// Print the cross-rank hot-spot profile (top kernel sites by modeled
+  /// time) after the run. Also forced by the SIMAS_PROFILE environment
+  /// variable; the merged profile is returned in ExperimentResult::profile
+  /// either way.
+  bool profile = false;
 };
 
 struct RankTiming {
@@ -60,6 +67,9 @@ struct RankTiming {
   double hidden_mpi_seconds_per_step = 0.0;
   par::EngineCounters counters;
   par::GraphStats graph;
+  /// Full per-rank metrics snapshot (engine.* / mem.* / halo.* / time.* /
+  /// graph.* / pool.* families; see DESIGN.md §13).
+  telemetry::MetricsSnapshot metrics;
 };
 
 struct ExperimentResult {
@@ -80,6 +90,14 @@ struct ExperimentResult {
   mhd::GlobalDiagnostics final_diag;  ///< physics validation handle
   trace::Recorder trace;              ///< rank 0 timeline, if captured
   double trace_t0 = 0.0, trace_t1 = 0.0;  ///< measured window (modeled s)
+  /// Every rank's timeline (capture_trace records all ranks; trace above
+  /// stays the rank-0 view for the existing consumers). One entry per
+  /// rank, indexed by rank — feed to telemetry::write_perfetto_json with
+  /// one pid per rank.
+  std::vector<trace::Recorder> rank_traces;
+  /// All-rank merged views (per-metric merge policy / matched by site).
+  telemetry::MetricsSnapshot metrics;
+  telemetry::SiteProfileSnapshot profile;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg);

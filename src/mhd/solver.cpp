@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/ranges.hpp"
+
 namespace simas::mhd {
 
 using par::SiteKind;
@@ -114,6 +116,7 @@ void MasSolver::initialize() {
 StepStats MasSolver::step() {
   MhdContext& c = *ctx_;
   StepStats stats;
+  SIMAS_RANGE(engine_, "step");
 
   // Ghost refresh for everything the explicit stages read. Under
   // overlap_halo the center-field radial exchange stays in flight across
@@ -124,22 +127,40 @@ StepStats MasSolver::step() {
   const int pending_center = begin_exchange_center_ghosts(c);
   apply_b_ghosts(c);
 
-  // Center-interpolated B and J for the Lorentz force and the CFL limit.
-  compute_center_b(c);
-  compute_edge_current(c);
-  average_j_to_center(c);
+  {
+    // Center-interpolated B and J for the Lorentz force and the CFL limit.
+    SIMAS_RANGE(engine_, "interp");
+    compute_center_b(c);
+    compute_edge_current(c);
+    average_j_to_center(c);
+  }
 
-  stats.dt = cfl_timestep(c);
+  {
+    SIMAS_RANGE(engine_, "cfl");
+    stats.dt = cfl_timestep(c);
+  }
 
-  // Explicit advection + forces, then the CT induction update.
-  advect_and_forces(c, stats.dt, pending_center);
-  apply_center_bcs(c);
-  ct_update(c, stats.dt);
+  {
+    // Explicit advection + forces, then the CT induction update.
+    SIMAS_RANGE(engine_, "advance");
+    advect_and_forces(c, stats.dt, pending_center);
+    apply_center_bcs(c);
+    ct_update(c, stats.dt);
+  }
 
   // Implicit parabolic stages (the PCG streams of the paper's Fig. 4).
-  stats.viscosity_iters = viscous_update(c, stats.dt);
-  stats.conduction_iters = conduction_update(c, stats.dt);
-  radiation_heating(c, stats.dt);
+  {
+    SIMAS_RANGE(engine_, "viscosity");
+    stats.viscosity_iters = viscous_update(c, stats.dt);
+  }
+  {
+    SIMAS_RANGE(engine_, "conduction");
+    stats.conduction_iters = conduction_update(c, stats.dt);
+  }
+  {
+    SIMAS_RANGE(engine_, "radiation");
+    radiation_heating(c, stats.dt);
+  }
 
   if (cfg_.shell_diagnostics) shell_mean_temperature(c, shell_t_);
 

@@ -42,7 +42,10 @@ HaloExchanger::HaloExchanger(par::Engine& engine, Comm& comm, const Slab& slab,
       recv_hi_(engine, "halo_recv_hi", nt + 1, np, max_fields, 0,
                gpusim::ScaleClass::Surface),
       phi_buf_(engine, "halo_phi_buf", nloc + 1, nt + 1, 2 * max_fields, 0,
-               gpusim::ScaleClass::Surface) {
+               gpusim::ScaleClass::Surface),
+      bytes_sent_r_(engine.metrics_registry().counter("halo.bytes_sent_r")),
+      bytes_sent_phi_(
+          engine.metrics_registry().counter("halo.bytes_sent_phi")) {
   // Manual mode: halo buffers live on the device for the whole run so that
   // CUDA-aware MPI can use the P2P path (paper Fig. 4, top).
   send_lo_.enter_data();
@@ -145,9 +148,9 @@ void HaloExchanger::unpack_r(const std::vector<field::Field*>& fields,
 
 void HaloExchanger::account_r_sends(i64 count) {
   if (slab_.rank_below >= 0)
-    bytes_sent_r_ += count * static_cast<i64>(sizeof(real));
+    bytes_sent_r_.add(count * static_cast<i64>(sizeof(real)));
   if (slab_.rank_above >= 0)
-    bytes_sent_r_ += count * static_cast<i64>(sizeof(real));
+    bytes_sent_r_.add(count * static_cast<i64>(sizeof(real)));
 }
 
 void HaloExchanger::exchange_r(const std::vector<field::Field*>& fields) {
@@ -316,7 +319,7 @@ void HaloExchanger::wrap_phi(const std::vector<field::Field*>& fields) {
              std::span<const real>(phi_buf_.a().data(),
                                    static_cast<std::size_t>(count)),
              phi_buf_.id());
-  bytes_sent_phi_ += count * static_cast<i64>(sizeof(real));
+  bytes_sent_phi_.add(count * static_cast<i64>(sizeof(real)));
   comm_.recv(comm_.rank(), kTagPhi,
              std::span<real>(phi_buf_.a().data(),
                              static_cast<std::size_t>(count)),

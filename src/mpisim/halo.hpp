@@ -21,6 +21,7 @@
 #include "field/field.hpp"
 #include "mpisim/comm.hpp"
 #include "mpisim/decomposition.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace simas::mpisim {
 
@@ -57,10 +58,14 @@ class HaloExchanger {
   /// Logical bytes moved through MPI so far (run scale, sum of payloads):
   /// fields x boundary planes x plane elements x sizeof(real), counted
   /// once per send on the sending rank (the wrap_phi self-exchange counts
-  /// once, like any other send).
-  i64 bytes_sent() const { return bytes_sent_r_ + bytes_sent_phi_; }
-  i64 bytes_sent_r() const { return bytes_sent_r_; }    ///< radial component
-  i64 bytes_sent_phi() const { return bytes_sent_phi_; } ///< φ-wrap component
+  /// once, like any other send). Stored in the engine's metrics registry
+  /// as halo.bytes_sent_r / halo.bytes_sent_phi; these accessors read the
+  /// registry values back.
+  i64 bytes_sent() const {
+    return bytes_sent_r_.value() + bytes_sent_phi_.value();
+  }
+  i64 bytes_sent_r() const { return bytes_sent_r_.value(); }   ///< radial
+  i64 bytes_sent_phi() const { return bytes_sent_phi_.value(); } ///< φ-wrap
 
   static constexpr int kAsyncSlots = 2;
 
@@ -93,8 +98,10 @@ class HaloExchanger {
   // has its own buffers and tags, so a concurrent synchronous exchange (or
   // a second overlapped one) cannot collide in the (src, tag) mailboxes.
   std::array<AsyncSlot, kAsyncSlots> slots_;
-  i64 bytes_sent_r_ = 0;
-  i64 bytes_sent_phi_ = 0;
+  // Byte totals live in the engine's telemetry registry (hot-path handles,
+  // bound in the constructor); an exchange adds through them directly.
+  telemetry::Counter bytes_sent_r_;
+  telemetry::Counter bytes_sent_phi_;
 };
 
 }  // namespace simas::mpisim

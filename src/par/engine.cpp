@@ -37,9 +37,10 @@ Engine::Engine(EngineConfig cfg)
     cfg_.validate = true;
     cfg_.validate_fatal = true;
   }
-  sched_ = make_scheduler(
-      cfg_.loops,
-      SchedulerContext{&cfg_, &cost_, &ledger_, &mem_, &tracer_, &counters_});
+  metrics_.bind(registry_);
+  sched_ = make_scheduler(cfg_.loops,
+                          SchedulerContext{&cfg_, &cost_, &ledger_, &mem_,
+                                           &tracer_, &metrics_, &profiler_});
   if (cfg_.validate) {
     validator_ = std::make_unique<analysis::Validator>(cfg_, mem_);
     mem_.set_observer(validator_.get());
@@ -211,6 +212,47 @@ void Engine::graph_end() {
   }
   graph_mode_ = GraphMode::Off;
   active_graph_ = nullptr;
+}
+
+telemetry::MetricsSnapshot Engine::metrics_snapshot() {
+  // Publish the cold families into the registry before snapshotting.
+  // Registration is idempotent (name lookup after the first call); `set`
+  // mirrors the externally-accumulated totals. Modeled times are gauges
+  // merged with Max across ranks (wall semantics: the slowest rank is the
+  // wall), byte/call totals are counters and sum.
+  registry_.gauge("time.modeled_seconds").set(ledger_.now());
+  registry_.gauge("time.compute_seconds")
+      .set(ledger_.total(gpusim::TimeCategory::Compute));
+  registry_.gauge("time.launch_gap_seconds")
+      .set(ledger_.total(gpusim::TimeCategory::LaunchGap));
+  registry_.gauge("time.data_motion_seconds")
+      .set(ledger_.total(gpusim::TimeCategory::DataMotion));
+  registry_.gauge("time.mpi_seconds")
+      .set(ledger_.total(gpusim::TimeCategory::Mpi));
+  registry_.gauge("halo.hidden_seconds").set(ledger_.hidden_mpi_time());
+
+  const gpusim::MemoryStats& ms = mem_.stats();
+  registry_.counter("mem.enter_data_calls").set(ms.enter_data_calls);
+  registry_.counter("mem.exit_data_calls").set(ms.exit_data_calls);
+  registry_.counter("mem.update_device_calls").set(ms.update_device_calls);
+  registry_.counter("mem.update_host_calls").set(ms.update_host_calls);
+  registry_.counter("mem.manual_h2d_bytes").set(ms.manual_h2d_bytes);
+  registry_.counter("mem.manual_d2h_bytes").set(ms.manual_d2h_bytes);
+  const gpusim::UmStats& um = mem_.um_stats();
+  registry_.counter("mem.bytes_migrated").set(um.h2d_bytes + um.d2h_bytes);
+  registry_.counter("mem.um_migrations").set(um.migrations);
+
+  const GraphStats gs = graph_stats();
+  registry_.counter("graph.captures").set(gs.captures);
+  registry_.counter("graph.replays").set(gs.replays);
+  registry_.counter("graph.divergences").set(gs.divergences);
+  registry_.counter("graph.replayed_ops").set(gs.replayed_ops);
+  registry_.gauge("graph.launch_seconds", telemetry::Merge::Sum)
+      .set(gs.graph_launch_seconds);
+  registry_.gauge("graph.launch_seconds_saved", telemetry::Merge::Sum)
+      .set(gs.kernel_launch_seconds_saved);
+
+  return registry_.snapshot();
 }
 
 GraphStats Engine::graph_stats() const {

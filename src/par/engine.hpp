@@ -49,6 +49,9 @@
 #include "par/site_registry.hpp"
 #include "par/stream.hpp"
 #include "par/thread_pool.hpp"
+#include "telemetry/engine_metrics.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "trace/trace.hpp"
 #include "util/types.hpp"
 
@@ -71,8 +74,29 @@ class Engine {
   gpusim::CostModel& cost() { return cost_; }
   gpusim::MemoryManager& memory() { return mem_; }
   trace::Recorder& tracer() { return tracer_; }
-  const EngineCounters& counters() const { return counters_; }
   const Scheduler& scheduler() const { return *sched_; }
+
+  /// Snapshot view of the engine.* counter family, synthesized from the
+  /// telemetry registry (the store of record).
+  EngineCounters counters() const {
+    EngineCounters c;
+    c.kernel_launches = metrics_.launches.value();
+    c.loops_executed = metrics_.loops.value();
+    c.fused_launches = metrics_.fused.value();
+    c.reduction_loops = metrics_.reductions.value();
+    c.bytes_touched = metrics_.bytes_touched.value();
+    return c;
+  }
+
+  /// This rank's metrics registry. Subsystems owned by the rank (the halo
+  /// exchanger) register their own metrics here at construction time.
+  telemetry::Registry& metrics_registry() { return registry_; }
+  /// Per-kernel-site hot-spot accumulation (always on; O(1) per launch).
+  const telemetry::SiteProfiler& site_profiler() const { return profiler_; }
+  /// Full metrics snapshot. Publishes the colder families first — time.*
+  /// from the ClockLedger, mem.* from MemoryStats/UmStats, graph.* from
+  /// GraphStats — so one call captures everything the rank knows.
+  telemetry::MetricsSnapshot metrics_snapshot();
 
   /// Live kernel-stream validator; nullptr when validation is off.
   analysis::Validator* validator() { return validator_.get(); }
@@ -281,8 +305,10 @@ class Engine {
   template <class Fn>
   void dispatch_blocks(i64 nblocks, i64 cells, Fn&& fn) {
     if (cells <= kInlineCells) {
+      metrics_.pool_inline.add();
       for (i64 b = 0; b < nblocks; ++b) fn(b);
     } else {
+      metrics_.pool_jobs.add();
       pool_.run_blocks(nblocks, fn);
     }
   }
@@ -462,7 +488,11 @@ class Engine {
   gpusim::MemoryManager mem_;
   trace::Recorder tracer_;
   ThreadPool pool_;
-  EngineCounters counters_;
+  /// Store of record for every per-rank metric (see DESIGN.md §13).
+  telemetry::Registry registry_;
+  /// Hot-path handles into registry_, bound once in the constructor.
+  telemetry::EngineMetrics metrics_;
+  telemetry::SiteProfiler profiler_;
   gpusim::TimeCategory kernel_category_ = gpusim::TimeCategory::Compute;
   std::unique_ptr<Scheduler> sched_;
   std::unique_ptr<analysis::Validator> validator_;

@@ -41,9 +41,9 @@ i64 Scheduler::touch_accesses(const AccessList& accesses,
   return bytes;
 }
 
-void Scheduler::charge_launch_and_bytes(const KernelSite& site, i64 bytes,
-                                        gpusim::ScaleClass scale, bool fused,
-                                        bool async,
+void Scheduler::charge_launch_and_bytes(const KernelSite& site, i64 cells,
+                                        i64 bytes, gpusim::ScaleClass scale,
+                                        bool fused, bool async,
                                         double extra_traffic_factor,
                                         gpusim::TimeCategory category) {
   const bool unified = ctx_.mem->unified() && ctx_.cfg->gpu;
@@ -62,46 +62,55 @@ void Scheduler::charge_launch_and_bytes(const KernelSite& site, i64 bytes,
   const double traffic =
       ctx_.cost->kernel_time(bytes, scale) * extra_traffic_factor;
   ctx_.ledger->advance(traffic, category);
-  ctx_.counters->bytes_touched += bytes;
+  ctx_.metrics->bytes_touched.add(bytes);
+  if (ctx_.profiler != nullptr)
+    ctx_.profiler->record(site, ctx_.ledger->now() - t0, cells, bytes,
+                          fused);
   if (ctx_.tracer->enabled())
     ctx_.tracer->record(t0, ctx_.ledger->now(), trace::Lane::Kernel,
                         site.name);
 }
 
 void Scheduler::on_launch(const LaunchOp& op) {
-  ctx_.counters->loops_executed++;
+  ctx_.metrics->loops.add();
+  ctx_.metrics->kernel_cells.observe(static_cast<double>(op.cells));
   const i64 bytes = touch_accesses(op.accesses, op.cells);
 
   const bool fused = fuse_with_previous(op);
-  if (fused) ctx_.counters->fused_launches++;
+  if (fused)
+    ctx_.metrics->fused.add();
+  else
+    ctx_.metrics->launches.add();
   last_fusion_group_ = op.site->fusion_group;
-  if (!fused) ctx_.counters->kernel_launches++;
 
-  charge_launch_and_bytes(*op.site, bytes, op.scale, fused, launch_async(op),
+  charge_launch_and_bytes(*op.site, op.cells, bytes, op.scale, fused,
+                          launch_async(op),
                           1.0 + ctx_.cfg->wrapper_init_overhead, op.category);
 }
 
 void Scheduler::on_reduce(const ReduceOp& op) {
-  ctx_.counters->loops_executed++;
-  ctx_.counters->reduction_loops++;
-  ctx_.counters->kernel_launches++;
+  ctx_.metrics->loops.add();
+  ctx_.metrics->reductions.add();
+  ctx_.metrics->launches.add();
+  ctx_.metrics->kernel_cells.observe(static_cast<double>(op.cells));
   last_fusion_group_ = 0;  // reductions synchronize; they never fuse
   const i64 bytes = touch_accesses(op.accesses, op.cells);
   // Reductions are synchronous under every model (the DC reduce clause and
   // the OpenACC reduction clause both imply a result dependency).
-  charge_launch_and_bytes(*op.site, bytes, op.scale, /*fused=*/false,
-                          /*async=*/false, 1.0, op.category);
+  charge_launch_and_bytes(*op.site, op.cells, bytes, op.scale,
+                          /*fused=*/false, /*async=*/false, 1.0, op.category);
 }
 
 void Scheduler::on_array_reduce(const ArrayReduceOp& op) {
-  ctx_.counters->loops_executed++;
-  ctx_.counters->reduction_loops++;
-  ctx_.counters->kernel_launches++;
+  ctx_.metrics->loops.add();
+  ctx_.metrics->reductions.add();
+  ctx_.metrics->launches.add();
+  ctx_.metrics->kernel_cells.observe(static_cast<double>(op.cells));
   last_fusion_group_ = 0;
   const i64 bytes = touch_accesses(op.accesses, op.cells);
-  charge_launch_and_bytes(*op.site, bytes, op.scale, /*fused=*/false,
-                          /*async=*/false, array_reduce_traffic_factor(),
-                          op.category);
+  charge_launch_and_bytes(*op.site, op.cells, bytes, op.scale,
+                          /*fused=*/false, /*async=*/false,
+                          array_reduce_traffic_factor(), op.category);
 }
 
 void Scheduler::on_sync(const SyncOp&) {

@@ -27,6 +27,8 @@
 #include "gpusim/device_spec.hpp"
 #include "gpusim/memory_manager.hpp"
 #include "par/stream.hpp"
+#include "telemetry/engine_metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "trace/trace.hpp"
 #include "util/types.hpp"
 
@@ -68,6 +70,9 @@ struct EngineConfig {
   gpusim::DeviceSpec device = gpusim::a100_40gb();
 };
 
+/// Snapshot view of the engine.* metrics family, assembled by value from
+/// the telemetry registry (the store of record) — kept for the existing
+/// consumers (tests, benches, RankTiming).
 struct EngineCounters {
   i64 kernel_launches = 0;  ///< launches actually issued (after fusion)
   i64 loops_executed = 0;   ///< logical parallel loops run
@@ -84,7 +89,8 @@ struct SchedulerContext {
   gpusim::ClockLedger* ledger = nullptr;
   gpusim::MemoryManager* mem = nullptr;
   trace::Recorder* tracer = nullptr;
-  EngineCounters* counters = nullptr;
+  telemetry::EngineMetrics* metrics = nullptr;
+  telemetry::SiteProfiler* profiler = nullptr;
 };
 
 class Scheduler {
@@ -127,7 +133,7 @@ class Scheduler {
   /// Sum the logical bytes the op touches and notify the memory manager
   /// (unified-memory page migration). Returns the byte total.
   i64 touch_accesses(const AccessList& accesses, i64 cells);
-  void charge_launch_and_bytes(const KernelSite& site, i64 bytes,
+  void charge_launch_and_bytes(const KernelSite& site, i64 cells, i64 bytes,
                                gpusim::ScaleClass scale, bool fused,
                                bool async, double extra_traffic_factor,
                                gpusim::TimeCategory category);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/ranges.hpp"
+
 namespace simas::solvers {
 
 using par::SiteKind;
@@ -54,6 +56,7 @@ PcgResult Pcg::solve(const ApplyFn& apply, const PrecondFn& precond,
     throw std::invalid_argument("Pcg::solve: inconsistent system");
 
   PcgResult res;
+  SIMAS_RANGE(eng_, name_ + ".pcg");
 
   // r = b - A x
   apply(sys.x, sys.ap);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/ranges.hpp"
+
 namespace simas::solvers {
 
 using par::SiteKind;
@@ -21,6 +23,7 @@ void rkl2_advance(par::Engine& eng, const RhsFn& rhs, field::Field& u,
                   field::Field& yjm2, field::Field& ly, real dt, int s,
                   par::Range3 interior) {
   if (s < 2) throw std::invalid_argument("rkl2_advance: need s >= 2 stages");
+  SIMAS_RANGE(eng, "sts");
 
   // No fusion group: every stage reads the previous stage's output, so
   // merging adjacent stage kernels into one launch (which happens whenever

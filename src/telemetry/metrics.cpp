@@ -1,0 +1,199 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace simas::telemetry {
+
+const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+u32 Registry::lookup_or_add(std::string_view name, MetricKind kind,
+                            Merge merge) {
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    const MetricInfo& info = metrics_[it->second];
+    if (info.kind != kind)
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' re-registered as " + metric_kind_name(kind) +
+                             " (was " + metric_kind_name(info.kind) + ")");
+    return it->second;
+  }
+  MetricInfo info;
+  info.name = std::string(name);
+  info.kind = kind;
+  info.merge = merge;
+  const u32 idx = static_cast<u32>(metrics_.size());
+  metrics_.push_back(std::move(info));
+  index_.emplace(std::string(name), idx);
+  return idx;
+}
+
+Counter Registry::counter(std::string_view name) {
+  const std::size_t before = metrics_.size();
+  const u32 idx = lookup_or_add(name, MetricKind::Counter, Merge::Sum);
+  MetricInfo& info = metrics_[idx];
+  if (metrics_.size() > before) {  // newly registered: allocate its slot
+    info.slot = static_cast<u32>(counter_slots_.size());
+    counter_slots_.push_back(0);
+  }
+  return Counter(this, info.slot);
+}
+
+Gauge Registry::gauge(std::string_view name, Merge merge) {
+  const std::size_t before = metrics_.size();
+  const u32 idx = lookup_or_add(name, MetricKind::Gauge, merge);
+  MetricInfo& info = metrics_[idx];
+  if (metrics_.size() > before) {
+    info.slot = static_cast<u32>(gauge_slots_.size());
+    gauge_slots_.push_back(0.0);
+  }
+  return Gauge(this, info.slot);
+}
+
+Histogram Registry::histogram(std::string_view name,
+                              std::span<const double> bounds) {
+  const std::size_t before = metrics_.size();
+  const u32 idx = lookup_or_add(name, MetricKind::Histogram, Merge::Sum);
+  MetricInfo& info = metrics_[idx];
+  if (metrics_.size() > before) {
+    info.bounds_off = static_cast<u32>(hist_bounds_.size());
+    info.nbounds = static_cast<u32>(bounds.size());
+    info.counts_off = static_cast<u32>(hist_counts_.size());
+    info.slot = static_cast<u32>(hist_sums_.size());
+    hist_bounds_.insert(hist_bounds_.end(), bounds.begin(), bounds.end());
+    hist_counts_.insert(hist_counts_.end(), bounds.size() + 1, 0);
+    hist_sums_.push_back(0.0);
+    hist_totals_.push_back(0);
+  }
+  return Histogram(this, idx);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.samples.reserve(metrics_.size());
+  for (const MetricInfo& info : metrics_) {
+    MetricSample s;
+    s.name = info.name;
+    s.kind = info.kind;
+    s.merge = info.merge;
+    switch (info.kind) {
+      case MetricKind::Counter:
+        s.count = counter_slots_[info.slot];
+        break;
+      case MetricKind::Gauge:
+        s.value = gauge_slots_[info.slot];
+        break;
+      case MetricKind::Histogram:
+        s.bounds.assign(hist_bounds_.begin() + info.bounds_off,
+                        hist_bounds_.begin() + info.bounds_off + info.nbounds);
+        s.buckets.assign(
+            hist_counts_.begin() + info.counts_off,
+            hist_counts_.begin() + info.counts_off + info.nbounds + 1);
+        s.value = hist_sums_[info.slot];
+        s.count = hist_totals_[info.slot];
+        break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------------
+// MetricsSnapshot
+
+const MetricSample* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricSample& s : samples)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+i64 MetricsSnapshot::counter(std::string_view name) const {
+  const MetricSample* s = find(name);
+  return s != nullptr ? s->count : 0;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  const MetricSample* s = find(name);
+  return s != nullptr ? s->value : 0.0;
+}
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  for (const MetricSample& o : other.samples) {
+    MetricSample* mine = nullptr;
+    for (MetricSample& s : samples)
+      if (s.name == o.name) {
+        mine = &s;
+        break;
+      }
+    if (mine == nullptr) {
+      samples.push_back(o);
+      continue;
+    }
+    if (mine->kind != o.kind) continue;  // contract violation; keep ours
+    switch (mine->kind) {
+      case MetricKind::Counter:
+        mine->count += o.count;
+        break;
+      case MetricKind::Gauge:
+        switch (mine->merge) {
+          case Merge::Sum: mine->value += o.value; break;
+          case Merge::Max: mine->value = std::max(mine->value, o.value); break;
+          case Merge::Min: mine->value = std::min(mine->value, o.value); break;
+        }
+        break;
+      case MetricKind::Histogram:
+        if (mine->bounds == o.bounds &&
+            mine->buckets.size() == o.buckets.size()) {
+          for (std::size_t i = 0; i < mine->buckets.size(); ++i)
+            mine->buckets[i] += o.buckets[i];
+          mine->count += o.count;
+          mine->value += o.value;
+        }
+        break;
+    }
+  }
+}
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  json::Value metrics{json::Value::Object{}};
+  for (const MetricSample& s : samples) {
+    switch (s.kind) {
+      case MetricKind::Counter:
+        metrics.set(s.name, json::Value(static_cast<long long>(s.count)));
+        break;
+      case MetricKind::Gauge:
+        metrics.set(s.name, json::Value(s.value));
+        break;
+      case MetricKind::Histogram: {
+        json::Value h{json::Value::Object{}};
+        json::Value bounds{json::Value::Array{}};
+        for (const double b : s.bounds) bounds.push_back(json::Value(b));
+        json::Value buckets{json::Value::Array{}};
+        for (const i64 c : s.buckets)
+          buckets.push_back(json::Value(static_cast<long long>(c)));
+        h.set("bounds", std::move(bounds));
+        h.set("buckets", std::move(buckets));
+        h.set("count", json::Value(static_cast<long long>(s.count)));
+        h.set("sum", json::Value(s.value));
+        metrics.set(s.name, std::move(h));
+        break;
+      }
+    }
+  }
+  json::Value root{json::Value::Object{}};
+  root.set("metrics", std::move(metrics));
+  json::write(os, root, 2);
+  os << '\n';
+}
+
+}  // namespace simas::telemetry

@@ -1,0 +1,90 @@
+#include "telemetry/perfetto.hpp"
+
+#include <array>
+#include <ostream>
+
+#include "util/json.hpp"
+
+namespace simas::telemetry {
+
+namespace {
+
+json::Value meta_event(int pid, int tid, const char* what,
+                       const std::string& name, int sort_index) {
+  json::Value ev{json::Value::Object{}};
+  ev.set("ph", json::Value("M"));
+  ev.set("pid", json::Value(pid));
+  if (tid >= 0) ev.set("tid", json::Value(tid));
+  ev.set("name", json::Value(what));
+  json::Value args{json::Value::Object{}};
+  if (sort_index >= 0) {
+    args.set("sort_index", json::Value(sort_index));
+  } else {
+    args.set("name", json::Value(name));
+  }
+  ev.set("args", std::move(args));
+  return ev;
+}
+
+}  // namespace
+
+void write_perfetto_json(std::ostream& os,
+                         std::span<const TraceSource> sources) {
+  json::Value events{json::Value::Array{}};
+
+  for (const TraceSource& src : sources) {
+    if (src.recorder == nullptr) continue;
+
+    // Process metadata.
+    events.push_back(
+        meta_event(src.pid, -1, "process_name", src.process_name, -1));
+    events.push_back(meta_event(src.pid, -1, "process_sort_index",
+                                src.process_name, src.pid));
+
+    // Thread (lane) metadata for the lanes this source actually uses, so
+    // empty tracks don't clutter the UI.
+    std::array<bool, trace::kLaneCount> used{};
+    for (const trace::Event& e : src.recorder->events())
+      used[static_cast<std::size_t>(e.lane)] = true;
+    for (int lane = 0; lane < trace::kLaneCount; ++lane) {
+      if (!used[static_cast<std::size_t>(lane)]) continue;
+      events.push_back(
+          meta_event(src.pid, lane, "thread_name",
+                     trace::lane_name(static_cast<trace::Lane>(lane)), -1));
+      events.push_back(meta_event(src.pid, lane, "thread_sort_index",
+                                  std::string(), lane));
+    }
+
+    // The timeline itself: complete events, modeled seconds -> µs.
+    for (const trace::Event& e : src.recorder->events()) {
+      json::Value ev{json::Value::Object{}};
+      ev.set("ph", json::Value("X"));
+      ev.set("pid", json::Value(src.pid));
+      ev.set("tid", json::Value(static_cast<int>(e.lane)));
+      ev.set("ts", json::Value(e.t0 * 1e6));
+      ev.set("dur", json::Value((e.t1 - e.t0) * 1e6));
+      ev.set("name", json::Value(e.name));
+      ev.set("cat", json::Value(trace::lane_name(e.lane)));
+      if (e.depth > 0) {
+        json::Value args{json::Value::Object{}};
+        args.set("depth", json::Value(e.depth));
+        ev.set("args", std::move(args));
+      }
+      events.push_back(std::move(ev));
+    }
+  }
+
+  json::Value root{json::Value::Object{}};
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", json::Value("ms"));
+  json::write(os, root, 1);
+  os << '\n';
+}
+
+void write_perfetto_json(std::ostream& os, const trace::Recorder& rec,
+                         int pid, std::string process_name) {
+  const TraceSource src{pid, std::move(process_name), &rec};
+  write_perfetto_json(os, std::span<const TraceSource>(&src, 1));
+}
+
+}  // namespace simas::telemetry

@@ -1,0 +1,40 @@
+#pragma once
+// Chrome trace-event / Perfetto JSON exporter for trace::Recorder
+// timelines, plus the metrics JSON dump.
+//
+// The emitted file is the Chrome "JSON Array Format" wrapped in an object
+// ({"traceEvents": [...], "displayTimeUnit": "ms"}), which both
+// chrome://tracing and ui.perfetto.dev open directly. Mapping:
+//   * one pid per trace source (one per simulated rank; bench_fig4_trace
+//     also uses pid blocks to separate the manual vs unified runs),
+//   * one tid per lane (kernels / um-migration / transfer / mpi-wait /
+//     async-copy / ranges), named and sorted via metadata events,
+//   * every Event becomes a complete ("ph":"X") event with ts/dur in
+//     microseconds of modeled time; nested Range events stack naturally
+//     on the ranges track because their intervals nest.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace simas::telemetry {
+
+/// One process row in the exported trace: a rank's recorded timeline.
+struct TraceSource {
+  int pid = 0;               ///< process id (one per rank)
+  std::string process_name;  ///< e.g. "manual/rank 3"
+  const trace::Recorder* recorder = nullptr;
+};
+
+/// Write all sources into one Chrome-trace/Perfetto JSON document.
+void write_perfetto_json(std::ostream& os,
+                         std::span<const TraceSource> sources);
+
+/// Convenience: single recorder, single rank.
+void write_perfetto_json(std::ostream& os, const trace::Recorder& rec,
+                         int pid = 0, std::string process_name = "rank 0");
+
+}  // namespace simas::telemetry

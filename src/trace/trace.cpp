@@ -1,7 +1,9 @@
 #include "trace/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <ostream>
+#include <utility>
 
 namespace simas::trace {
 
@@ -12,6 +14,7 @@ const char* lane_name(Lane lane) {
     case Lane::Transfer: return "transfer";
     case Lane::MpiWait: return "mpi-wait";
     case Lane::AsyncCopy: return "async-copy";
+    case Lane::Range: return "ranges";
   }
   return "?";
 }
@@ -19,17 +22,58 @@ const char* lane_name(Lane lane) {
 void Recorder::record(double t0, double t1, Lane lane, std::string name) {
   if (!enabled_) return;
   if (t1 <= t0) return;
-  events_.push_back(Event{t0, t1, lane, std::move(name)});
+  events_.push_back(Event{t0, t1, lane, 0, std::move(name)});
+}
+
+void Recorder::push_range(double t, std::string_view name) {
+  RangeFrame frame;
+  frame.t0 = t;
+  frame.path_len = range_path_.size();
+  frame.live = enabled_;
+  if (frame.live) {
+    if (!range_path_.empty()) range_path_.push_back('/');
+    range_path_.append(name);
+  }
+  ranges_.push_back(frame);
+}
+
+void Recorder::pop_range(double t) {
+  if (ranges_.empty()) return;  // unbalanced pop: ignore
+  const RangeFrame frame = ranges_.back();
+  ranges_.pop_back();
+  if (frame.live && enabled_ && t > frame.t0) {
+    events_.push_back(Event{frame.t0, t, Lane::Range,
+                            static_cast<int>(ranges_.size()), range_path_});
+  }
+  if (frame.live) range_path_.resize(frame.path_len);
 }
 
 double Recorder::lane_busy(Lane lane, double t0, double t1) const {
-  double busy = 0.0;
+  // Clip to the window, then merge overlaps so co-scheduled events (e.g.
+  // nested ranges, or a transfer spanning several kernels) count the lane
+  // busy once per instant rather than once per event.
+  std::vector<std::pair<double, double>> spans;
   for (const auto& e : events_) {
     if (e.lane != lane) continue;
     const double lo = std::max(e.t0, t0);
     const double hi = std::min(e.t1, t1);
-    if (hi > lo) busy += hi - lo;
+    if (hi > lo) spans.emplace_back(lo, hi);
   }
+  std::sort(spans.begin(), spans.end());
+  double busy = 0.0;
+  double cur_lo = 0.0, cur_hi = 0.0;
+  bool open = false;
+  for (const auto& [lo, hi] : spans) {
+    if (!open || lo > cur_hi) {
+      if (open) busy += cur_hi - cur_lo;
+      cur_lo = lo;
+      cur_hi = hi;
+      open = true;
+    } else {
+      cur_hi = std::max(cur_hi, hi);
+    }
+  }
+  if (open) busy += cur_hi - cur_lo;
   return busy;
 }
 
@@ -37,9 +81,36 @@ void Recorder::render_ascii(std::ostream& os, double t0, double t1,
                             int columns) const {
   if (t1 <= t0 || columns <= 0) return;
   const double dt = (t1 - t0) / columns;
-  const Lane lanes[] = {Lane::Kernel, Lane::Migration, Lane::Transfer,
-                        Lane::MpiWait, Lane::AsyncCopy};
+
+  const auto label = [&os](const char* name) {
+    os << "  " << name;
+    for (std::size_t pad = std::string(name).size(); pad < 14; ++pad)
+      os << ' ';
+  };
+
+  // Time axis: a tick every quarter of the window plus the window edges,
+  // then the tick values on the line below.
+  std::string ruler(static_cast<std::size_t>(columns), '-');
+  const int quarter = std::max(1, columns / 4);
+  for (int c = 0; c < columns; c += quarter)
+    ruler[static_cast<std::size_t>(c)] = '+';
+  ruler[static_cast<std::size_t>(columns - 1)] = '+';
+  label("time");
+  os << '|' << ruler << "|\n";
+  char span[96];
+  std::snprintf(span, sizeof(span),
+                "t0 = %.4e s   t1 = %.4e s   (%.4e s/column)", t0, t1, dt);
+  label("");
+  os << ' ' << span << '\n';
+
+  bool has_range = false;
+  for (const auto& e : events_)
+    if (e.lane == Lane::Range) has_range = true;
+
+  const Lane lanes[] = {Lane::Kernel,   Lane::Migration, Lane::Transfer,
+                        Lane::MpiWait,  Lane::AsyncCopy, Lane::Range};
   for (const Lane lane : lanes) {
+    if (lane == Lane::Range && !has_range) continue;
     std::string row(static_cast<std::size_t>(columns), '.');
     for (const auto& e : events_) {
       if (e.lane != lane || e.t1 <= t0 || e.t0 >= t1) continue;
@@ -49,18 +120,33 @@ void Recorder::render_ascii(std::ostream& os, double t0, double t1,
       c1 = std::clamp(c1, c0, columns - 1);
       for (int c = c0; c <= c1; ++c) row[static_cast<std::size_t>(c)] = '#';
     }
-    os << "  " << lane_name(lane);
-    for (std::size_t pad = std::string(lane_name(lane)).size(); pad < 14; ++pad)
-      os << ' ';
+    label(lane_name(lane));
     os << '|' << row << "|\n";
   }
 }
 
+namespace {
+
+/// RFC-4180 field: quoted only when it contains a comma, quote, or line
+/// break; inner quotes are doubled.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
 void Recorder::write_csv(std::ostream& os) const {
-  os << "t0,t1,lane,name\n";
+  os << "t0,t1,lane,depth,name\n";
   for (const auto& e : events_) {
-    os << e.t0 << ',' << e.t1 << ',' << lane_name(e.lane) << ',' << e.name
-       << '\n';
+    os << e.t0 << ',' << e.t1 << ',' << lane_name(e.lane) << ',' << e.depth
+       << ',' << csv_field(e.name) << '\n';
   }
 }
 

@@ -1,12 +1,15 @@
 #pragma once
 // Timeline recorder producing NSIGHT-Systems-style traces of modeled
-// activity (kernel launches, page migrations, P2P transfers, MPI waits).
+// activity (kernel launches, page migrations, P2P transfers, MPI waits,
+// copy-stream transfers, and NVTX-style nested ranges).
 // Used by bench_fig4_trace to reproduce the paper's Fig. 4 comparison of
 // manual memory management vs unified memory during viscosity-solver
-// iterations.
+// iterations; exported to Chrome-trace/Perfetto JSON by
+// telemetry/perfetto.hpp (see DESIGN.md §13).
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/types.hpp"
@@ -19,7 +22,10 @@ enum class Lane {
   Transfer,    ///< peer-to-peer / staged MPI transfers
   MpiWait,     ///< blocking in MPI (load imbalance)
   AsyncCopy,   ///< copy-stream transfers overlapping compute (isend)
+  Range,       ///< NVTX-style application ranges (SIMAS_RANGE), nested
 };
+
+inline constexpr int kLaneCount = 6;
 
 const char* lane_name(Lane lane);
 
@@ -27,6 +33,9 @@ struct Event {
   double t0 = 0.0;  ///< modeled start time (s)
   double t1 = 0.0;  ///< modeled end time (s)
   Lane lane = Lane::Kernel;
+  /// Nesting depth; 0 for plain events, >= 0 for Range events (a Range at
+  /// depth d is enclosed by d open ranges).
+  int depth = 0;
   std::string name;
 };
 
@@ -36,25 +45,52 @@ class Recorder {
   bool enabled() const { return enabled_; }
 
   void record(double t0, double t1, Lane lane, std::string name);
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    ranges_.clear();
+    range_path_.clear();
+  }
 
   const std::vector<Event>& events() const { return events_; }
 
-  /// Total busy time per lane within [t0, t1] (events clipped).
+  // ---- Scoped ranges (driven by telemetry::RangeScope) ----
+  // Ranges nest; each pop records one Lane::Range event whose name is the
+  // '/'-joined path of every enclosing range ("step/viscosity/pcg"), so a
+  // flat event list still attributes time to a call-path. Pushes while the
+  // recorder is disabled produce no event at the matching pop (and do not
+  // contribute to the path), so enabling mid-run never emits a torn range.
+  void push_range(double t, std::string_view name);
+  void pop_range(double t);
+  int open_ranges() const { return static_cast<int>(ranges_.size()); }
+
+  /// Total busy time per lane within [t0, t1]. Events are clipped to the
+  /// window and overlapping same-lane events are merged first, so the
+  /// result is genuine lane occupancy and never exceeds (t1 - t0).
   double lane_busy(Lane lane, double t0, double t1) const;
 
-  /// Render an ASCII timeline: one row per lane, `columns` characters wide,
-  /// covering [t0, t1]. A cell is marked when any event of that lane
-  /// overlaps the cell's time slice.
+  /// Render an ASCII timeline: a time axis, then one labeled row per lane,
+  /// `columns` characters wide, covering [t0, t1]. A cell is marked when
+  /// any event of that lane overlaps the cell's time slice. The Range lane
+  /// is shown only when range events exist.
   void render_ascii(std::ostream& os, double t0, double t1,
                     int columns = 100) const;
 
-  /// Write events as CSV (t0,t1,lane,name).
+  /// Write events as RFC-4180 CSV with a header line
+  /// (t0,t1,lane,depth,name). Fields containing commas, quotes, or
+  /// newlines are quoted with doubled inner quotes.
   void write_csv(std::ostream& os) const;
 
  private:
+  struct RangeFrame {
+    double t0 = 0.0;
+    std::size_t path_len = 0;  ///< range_path_ length before this push
+    bool live = false;         ///< recorder was enabled at push time
+  };
+
   bool enabled_ = false;
   std::vector<Event> events_;
+  std::vector<RangeFrame> ranges_;
+  std::string range_path_;
 };
 
 }  // namespace simas::trace

@@ -34,6 +34,37 @@ TEST(Recorder, LaneBusyClipsToWindow) {
   EXPECT_DOUBLE_EQ(r.lane_busy(Lane::Transfer, 0.0, 10.0), 0.0);
 }
 
+TEST(Recorder, LaneBusyStraddlingEventClipsAtBothEdges) {
+  Recorder r;
+  r.enable(true);
+  r.record(0.0, 10.0, Lane::Kernel, "long");  // spans past both window edges
+  EXPECT_DOUBLE_EQ(r.lane_busy(Lane::Kernel, 2.0, 3.0), 1.0);
+  // Window entirely outside the event.
+  EXPECT_DOUBLE_EQ(r.lane_busy(Lane::Kernel, 11.0, 12.0), 0.0);
+}
+
+TEST(Recorder, LaneBusyZeroLengthWindowIsZero) {
+  Recorder r;
+  r.enable(true);
+  r.record(0.0, 2.0, Lane::Kernel, "a");
+  EXPECT_DOUBLE_EQ(r.lane_busy(Lane::Kernel, 1.0, 1.0), 0.0);
+}
+
+TEST(Recorder, LaneBusyMergesOverlappingSameLaneEvents) {
+  // Overlapping events in one lane (e.g. nested ranges, or a transfer
+  // spanning several kernels) must count the lane busy once per instant:
+  // busy time can never exceed the window length.
+  Recorder r;
+  r.enable(true);
+  r.record(0.0, 2.0, Lane::Kernel, "outer");
+  r.record(0.5, 1.0, Lane::Kernel, "nested");    // fully contained
+  r.record(1.5, 3.0, Lane::Kernel, "straddles"); // partial overlap
+  r.record(4.0, 5.0, Lane::Kernel, "separate");
+  EXPECT_DOUBLE_EQ(r.lane_busy(Lane::Kernel, 0.0, 10.0), 4.0);  // 0-3 + 4-5
+  EXPECT_LE(r.lane_busy(Lane::Kernel, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.lane_busy(Lane::Kernel, 0.0, 1.0), 1.0);
+}
+
 TEST(Recorder, AsciiRenderMarksBusyCells) {
   Recorder r;
   r.enable(true);
@@ -46,13 +77,89 @@ TEST(Recorder, AsciiRenderMarksBusyCells) {
   EXPECT_NE(out.find("um-migration"), std::string::npos);
 }
 
+TEST(Recorder, AsciiRenderHasTimeAxis) {
+  Recorder r;
+  r.enable(true);
+  r.record(0.0, 0.5, Lane::Kernel, "k");
+  std::ostringstream os;
+  r.render_ascii(os, 0.0, 2.0, 20);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("time"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);  // axis ticks
+  EXPECT_NE(out.find("t0 = 0.0000e+00 s"), std::string::npos);
+  EXPECT_NE(out.find("t1 = 2.0000e+00 s"), std::string::npos);
+  EXPECT_NE(out.find("1.0000e-01 s/column"), std::string::npos);
+  // The ranges lane only appears once range events exist.
+  EXPECT_EQ(out.find("ranges"), std::string::npos);
+  r.push_range(0.0, "phase");
+  r.pop_range(1.0);
+  std::ostringstream os2;
+  r.render_ascii(os2, 0.0, 2.0, 20);
+  EXPECT_NE(os2.str().find("ranges"), std::string::npos);
+}
+
 TEST(Recorder, CsvRoundTripFormat) {
   Recorder r;
   r.enable(true);
   r.record(0.25, 1.5, Lane::Transfer, "send->3");
   std::ostringstream os;
   r.write_csv(os);
-  EXPECT_EQ(os.str(), "t0,t1,lane,name\n0.25,1.5,transfer,send->3\n");
+  EXPECT_EQ(os.str(), "t0,t1,lane,depth,name\n0.25,1.5,transfer,0,send->3\n");
+}
+
+TEST(Recorder, CsvQuotesFieldsPerRfc4180) {
+  Recorder r;
+  r.enable(true);
+  r.record(0.0, 1.0, Lane::Kernel, "a,b");       // embedded comma
+  r.record(1.0, 2.0, Lane::Kernel, "say \"hi\"");  // embedded quotes
+  r.record(2.0, 3.0, Lane::Kernel, "line\nbreak");
+  std::ostringstream os;
+  r.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "t0,t1,lane,depth,name\n"
+            "0,1,kernels,0,\"a,b\"\n"
+            "1,2,kernels,0,\"say \"\"hi\"\"\"\n"
+            "2,3,kernels,0,\"line\nbreak\"\n");
+}
+
+TEST(Recorder, RangesNestAndRecordCallPaths) {
+  Recorder r;
+  r.enable(true);
+  r.push_range(0.0, "step");
+  r.push_range(1.0, "viscosity");
+  r.pop_range(3.0);
+  r.push_range(3.0, "conduction");
+  r.pop_range(4.0);
+  r.pop_range(5.0);
+  ASSERT_EQ(r.events().size(), 3u);
+  EXPECT_EQ(r.events()[0].name, "step/viscosity");
+  EXPECT_EQ(r.events()[0].depth, 1);
+  EXPECT_DOUBLE_EQ(r.events()[0].t0, 1.0);
+  EXPECT_DOUBLE_EQ(r.events()[0].t1, 3.0);
+  EXPECT_EQ(r.events()[1].name, "step/conduction");
+  EXPECT_EQ(r.events()[1].depth, 1);
+  EXPECT_EQ(r.events()[2].name, "step");
+  EXPECT_EQ(r.events()[2].depth, 0);
+  EXPECT_DOUBLE_EQ(r.events()[2].t1, 5.0);
+  EXPECT_EQ(r.open_ranges(), 0);
+}
+
+TEST(Recorder, RangesIgnoreUnbalancedPopAndTornEnable) {
+  Recorder r;
+  r.enable(true);
+  r.pop_range(1.0);  // unbalanced: ignored
+  EXPECT_TRUE(r.events().empty());
+  // A range pushed while disabled must not record on pop, even if tracing
+  // was enabled in between (its t0 predates the capture window).
+  r.enable(false);
+  r.push_range(0.0, "warmup");
+  r.enable(true);
+  r.pop_range(2.0);
+  EXPECT_TRUE(r.events().empty());
+  // Zero-length ranges are dropped like zero-length events.
+  r.push_range(3.0, "empty");
+  r.pop_range(3.0);
+  EXPECT_TRUE(r.events().empty());
 }
 
 TEST(Recorder, ClearEmptiesEvents) {

@@ -1,0 +1,87 @@
+// perf_check: CI perf-regression gate.
+//
+//   perf_check [--rules=FILE] BASELINE.json CURRENT.json
+//
+// Flattens every numeric leaf of both files, applies the first-match-wins
+// tolerance rules (telemetry/perf_compare.hpp), prints the comparison, and
+// exits 1 if any metric regressed beyond its tolerance (or a baseline
+// metric disappeared). With no --rules, every leaf must match exactly —
+// the right default for SIMAS's deterministic modeled clocks.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/perf_compare.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+bool load_json(const std::string& path, simas::json::Value* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "perf_check: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  if (!simas::json::parse(buf.str(), out, &err)) {
+    std::fprintf(stderr, "perf_check: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string rules_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rules=", 0) == 0) {
+      rules_path = arg.substr(8);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: perf_check [--rules=FILE] BASELINE.json CURRENT.json\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "perf_check: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: perf_check [--rules=FILE] BASELINE.json CURRENT.json\n");
+    return 2;
+  }
+
+  simas::json::Value baseline, current;
+  if (!load_json(positional[0], &baseline)) return 2;
+  if (!load_json(positional[1], &current)) return 2;
+
+  std::vector<simas::telemetry::ToleranceRule> rules;
+  if (!rules_path.empty()) {
+    simas::json::Value spec;
+    if (!load_json(rules_path, &spec)) return 2;
+    std::string err;
+    rules = simas::telemetry::parse_rules(spec, &err);
+    if (!err.empty()) {
+      std::fprintf(stderr, "perf_check: %s: %s\n", rules_path.c_str(),
+                   err.c_str());
+      return 2;
+    }
+  }
+
+  const simas::telemetry::Comparison cmp =
+      simas::telemetry::compare(baseline, current, rules);
+  std::cout << "perf_check: " << positional[1] << " vs baseline "
+            << positional[0] << "\n";
+  cmp.print(std::cout);
+  return cmp.ok() ? 0 : 1;
+}
