@@ -1,0 +1,376 @@
+// Ensemble serving throughput: batched many-run execution through the
+// service layer (src/service/). An ensemble study (parameter sweeps,
+// boundary-map ensembles for space-weather forecasting) runs the *same*
+// model shape hundreds of times with different boundary data; the
+// JobServer amortizes everything shareable across those runs:
+//
+//   * one host ThreadPool multiplexed by all in-flight jobs,
+//   * PFSS boundary solutions reused via the FieldCache (bit-identical
+//     injection instead of a PCG solve per job),
+//   * captured kernel graphs reused via the GraphCache (first pass of a
+//     warm job replays; no capture pass).
+//
+// The bench queues a full batch (default 10^3 jobs over a handful of
+// boundary shapes), serves it cold (caches off) and warm (caches
+// prewarmed), and reports runs/hour and p50/p99 latency for each regime.
+// It *fails* (nonzero exit) if the warm/cold throughput ratio drops below
+// --min-speedup, or if any served job's physics is not bit-identical to
+// the same config run serially — serving must never change results.
+//
+//   bench_ensemble [--jobs=1000] [--shapes=8] [--workers=4] [--nranks=2]
+//                  [--steps=2] [--warmup=1] [--queue-capacity=jobs]
+//                  [--cold-jobs=auto] [--min-speedup=2.0]
+//                  [--out=BENCH_ensemble.json]
+//
+// Wall-clock throughput/latency numbers are machine-dependent; the JSON
+// gate (tools/perf_tolerances.json) skips them and compares only the
+// deterministic fields (job/cache counts, modeled physics timings,
+// identity flags).
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/run_experiment.hpp"
+#include "service/job_server.hpp"
+#include "util/json.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "variants/code_version.hpp"
+
+using namespace simas;
+using bench_support::ExperimentConfig;
+using bench_support::ExperimentResult;
+
+namespace {
+
+/// One serial run's physics + modeled-timing fingerprint.
+struct PhysicsRef {
+  mhd::GlobalDiagnostics diag;
+  std::vector<double> seconds_per_step;  ///< per rank, modeled
+  double wall_minutes = 0.0;
+};
+
+/// Reference physics for one shape, from plain serial run_experiment calls
+/// (no service layer). Two fingerprints: `cold` (no caches — what a cold
+/// served job must reproduce) and `warm` (boundary fields injected +
+/// graph cache prewarmed serially — what a warm served job must
+/// reproduce; the graph cache honestly changes modeled launch-gap time by
+/// replaying scopes from their first entry, so warm jobs are compared
+/// against a serial run with the same cache state, isolating exactly the
+/// serving layer's concurrency as the thing that must not matter).
+struct ShapeReference {
+  ExperimentConfig cfg;
+  PhysicsRef cold;
+  PhysicsRef warm;
+};
+
+PhysicsRef fingerprint(const ExperimentResult& r) {
+  PhysicsRef ref;
+  ref.diag = r.final_diag;
+  ref.wall_minutes = r.wall_minutes;
+  for (const auto& rank : r.ranks)
+    ref.seconds_per_step.push_back(rank.seconds_per_step);
+  return ref;
+}
+
+ExperimentConfig shape_config(int shape, int nranks, int steps, int warmup) {
+  ExperimentConfig cfg;
+  cfg.version = variants::CodeVersion::A;
+  cfg.nranks = nranks;
+  cfg.grid = bench_support::bench_grid();
+  cfg.warmup_steps = warmup;
+  cfg.measure_steps = steps;
+  cfg.graph_replay = true;
+  cfg.boundary.enabled = true;
+  cfg.boundary.seed = 1000 + static_cast<u64>(shape);
+  return cfg;
+}
+
+bool bit_identical(const mhd::GlobalDiagnostics& a,
+                   const mhd::GlobalDiagnostics& b) {
+  return std::memcmp(&a, &b, sizeof(a)) == 0;
+}
+
+/// Served result vs the matching serial fingerprint: diagnostics and
+/// modeled timings must match bit for bit.
+bool matches_reference(const ExperimentResult& r, const PhysicsRef& ref,
+                       std::string& why) {
+  if (!bit_identical(r.final_diag, ref.diag)) {
+    why = "diagnostics differ";
+    return false;
+  }
+  if (r.wall_minutes != ref.wall_minutes) {
+    why = "modeled wall_minutes differ";
+    return false;
+  }
+  if (r.ranks.size() != ref.seconds_per_step.size()) {
+    why = "rank count differs";
+    return false;
+  }
+  for (std::size_t i = 0; i < r.ranks.size(); ++i) {
+    if (r.ranks[i].seconds_per_step != ref.seconds_per_step[i]) {
+      why = "modeled seconds_per_step differ on rank " + std::to_string(i);
+      return false;
+    }
+  }
+  return true;
+}
+
+struct PhaseStats {
+  int jobs = 0;
+  double wall_seconds = 0.0;
+  double runs_per_hour = 0.0;
+  double p50_latency = 0.0;
+  double p99_latency = 0.0;
+  i64 field_cache_hits = 0;
+  i64 graph_cache_hits = 0;
+  i64 rejected = 0;
+  bool physics_identical = true;
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// Queue `njobs` round-robin over the shapes, start the (paused) server,
+/// drain, and verify every result against its shape reference (`warm`
+/// selects which serial fingerprint to compare against).
+PhaseStats serve_batch(service::JobServer& server, int njobs,
+                       const std::vector<ShapeReference>& shapes,
+                       const char* phase, bool warm_refs) {
+  PhaseStats stats;
+  stats.jobs = njobs;
+  for (int j = 0; j < njobs; ++j) {
+    service::JobDescription desc;
+    desc.id = j;
+    const std::size_t s = static_cast<std::size_t>(j) % shapes.size();
+    desc.name = std::string(phase) + "/shape" + std::to_string(s);
+    desc.config = shapes[s].cfg;
+    if (!server.submit(std::move(desc))) {
+      std::cerr << phase << ": job " << j
+                << " rejected (queue capacity too small for the batch)\n";
+      stats.physics_identical = false;
+      return stats;
+    }
+  }
+  Timer wall;
+  server.start();
+  const std::vector<service::JobResult> results = server.drain();
+  stats.wall_seconds = wall.seconds();
+  stats.runs_per_hour =
+      stats.wall_seconds > 0.0 ? 3600.0 * njobs / stats.wall_seconds : 0.0;
+
+  std::vector<double> latencies;
+  latencies.reserve(results.size());
+  for (const service::JobResult& r : results) {
+    if (!r.ok) {
+      std::cerr << phase << ": job " << r.id << " failed: " << r.error
+                << "\n";
+      stats.physics_identical = false;
+      continue;
+    }
+    latencies.push_back(r.latency_seconds);
+    if (r.field_cache_hit) stats.field_cache_hits++;
+    const auto s = static_cast<std::size_t>(r.id) % shapes.size();
+    std::string why;
+    const PhysicsRef& ref =
+        warm_refs ? shapes[s].warm : shapes[s].cold;
+    if (!matches_reference(r.result, ref, why)) {
+      std::cerr << phase << ": job " << r.id << " NOT bit-identical to the "
+                << "serial reference: " << why << "\n";
+      stats.physics_identical = false;
+    }
+  }
+  if (static_cast<int>(results.size()) != njobs) {
+    std::cerr << phase << ": " << results.size() << " results for " << njobs
+              << " jobs\n";
+    stats.physics_identical = false;
+  }
+  stats.p50_latency = percentile(latencies, 0.50);
+  stats.p99_latency = percentile(latencies, 0.99);
+  stats.graph_cache_hits = server.graph_cache().stats().hits;
+  stats.rejected = server.queue_stats().rejected;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const int jobs = static_cast<int>(opts.get_int("jobs", 1000));
+  const int nshapes =
+      std::max(1, static_cast<int>(opts.get_int("shapes", 8)));
+  const int workers = static_cast<int>(opts.get_int("workers", 4));
+  const int nranks = static_cast<int>(opts.get_int("nranks", 2));
+  const int steps = static_cast<int>(opts.get_int("steps", 2));
+  const int warmup = static_cast<int>(opts.get_int("warmup", 1));
+  const auto capacity = static_cast<std::size_t>(
+      opts.get_int("queue-capacity", jobs));
+  // Cold throughput is measured on a smaller batch by default: every cold
+  // job pays the full PFSS solve, and the estimate converges quickly.
+  const int cold_jobs = static_cast<int>(opts.get_int(
+      "cold-jobs", std::min(jobs, std::max(2 * nshapes, 4 * workers))));
+  const double min_speedup = opts.get_double("min-speedup", 2.0);
+  const std::string out = opts.get("out", "BENCH_ensemble.json");
+
+  std::cout << "ensemble serving: " << jobs << " jobs over " << nshapes
+            << " boundary shapes, " << workers << " workers, " << nranks
+            << " ranks/job\n\n";
+
+  // Serial references, one per shape, no service layer. The cold
+  // fingerprint is a plain run; the warm fingerprint prewarms a local
+  // graph cache and extracts the PFSS fields serially, then reruns with
+  // both caches hot — mirroring exactly what a warm served job sees.
+  std::vector<ShapeReference> shapes;
+  shapes.reserve(static_cast<std::size_t>(nshapes));
+  for (int s = 0; s < nshapes; ++s) {
+    ShapeReference ref;
+    ref.cfg = shape_config(s, nranks, steps, warmup);
+    ref.cold = fingerprint(bench_support::run_experiment(ref.cfg));
+
+    par::GraphCache gcache;
+    bench_support::BoundaryFields fields;
+    ExperimentConfig pre = ref.cfg;
+    pre.graph_cache = &gcache;
+    pre.boundary_out = &fields;
+    (void)bench_support::run_experiment(pre);
+    ExperimentConfig hot = ref.cfg;
+    hot.graph_cache = &gcache;
+    hot.boundary_fields = &fields;
+    ref.warm = fingerprint(bench_support::run_experiment(hot));
+    shapes.push_back(std::move(ref));
+  }
+
+  // Cold regime: service layer, both caches off — every job solves its
+  // own PFSS and captures its own graphs.
+  service::JobServerConfig cold_cfg;
+  cold_cfg.workers = workers;
+  cold_cfg.queue_capacity = capacity;
+  cold_cfg.enable_field_cache = false;
+  cold_cfg.enable_graph_cache = false;
+  cold_cfg.autostart = false;
+  PhaseStats cold;
+  {
+    service::JobServer server(cold_cfg);
+    cold = serve_batch(server, cold_jobs, shapes, "cold",
+                       /*warm_refs=*/false);
+  }
+
+  // Warm regime: caches on, prewarmed once per shape, then the full batch
+  // queued before the workers start (the 10^3-queued-jobs regime).
+  service::JobServerConfig warm_cfg = cold_cfg;
+  warm_cfg.enable_field_cache = true;
+  warm_cfg.enable_graph_cache = true;
+  PhaseStats warm;
+  i64 prewarm_count = 0;
+  {
+    service::JobServer server(warm_cfg);
+    for (int s = 0; s < nshapes; ++s) {
+      service::JobDescription desc;
+      desc.id = s;
+      desc.name = "prewarm/shape" + std::to_string(s);
+      desc.config = shapes[static_cast<std::size_t>(s)].cfg;
+      const service::JobResult r = server.prewarm(std::move(desc));
+      if (!r.ok) {
+        std::cerr << "prewarm failed: " << r.error << "\n";
+        return 1;
+      }
+      ++prewarm_count;
+    }
+    warm = serve_batch(server, jobs, shapes, "warm", /*warm_refs=*/true);
+  }
+
+  const double speedup =
+      cold.runs_per_hour > 0.0 ? warm.runs_per_hour / cold.runs_per_hour
+                               : 0.0;
+
+  Table table("ensemble serving (" + std::to_string(workers) + " workers)");
+  table.set_header({"regime", "jobs", "runs/hour", "p50 ms", "p99 ms",
+                    "field hits", "graph hits"});
+  table.row()
+      .cell("cold")
+      .cell(static_cast<double>(cold.jobs), 0)
+      .cell(cold.runs_per_hour, 0)
+      .cell(1e3 * cold.p50_latency, 1)
+      .cell(1e3 * cold.p99_latency, 1)
+      .cell(static_cast<double>(cold.field_cache_hits), 0)
+      .cell(static_cast<double>(cold.graph_cache_hits), 0);
+  table.row()
+      .cell("warm")
+      .cell(static_cast<double>(warm.jobs), 0)
+      .cell(warm.runs_per_hour, 0)
+      .cell(1e3 * warm.p50_latency, 1)
+      .cell(1e3 * warm.p99_latency, 1)
+      .cell(static_cast<double>(warm.field_cache_hits), 0)
+      .cell(static_cast<double>(warm.graph_cache_hits), 0);
+  table.print(std::cout);
+
+  std::cout << "\nwarm/cold throughput ratio = ";
+  std::cout.precision(2);
+  std::cout << std::fixed << speedup << "x (gate: >= " << min_speedup
+            << "x)\n";
+
+  const bool identical = cold.physics_identical && warm.physics_identical;
+  std::cout << "physics vs serial reference: "
+            << (identical ? "bit-identical" : "MISMATCH") << "\n";
+
+  // JSON result. Deterministic fields (counts, modeled minutes, identity
+  // flags) are gated by perf_check; wall-clock fields are skipped by the
+  // *runs_per_hour* / *latency* / *speedup* tolerance rules.
+  json::Value shapes_arr{json::Value::Array{}};
+  for (const auto& ref : shapes) {
+    json::Value v{json::Value::Object{}};
+    auto& o = v.as_object();
+    o.emplace_back("seed",
+                   static_cast<long long>(ref.cfg.boundary.seed));
+    o.emplace_back("modeled_wall_minutes", ref.cold.wall_minutes);
+    o.emplace_back("modeled_wall_minutes_warm", ref.warm.wall_minutes);
+    shapes_arr.as_array().push_back(std::move(v));
+  }
+  auto phase_json = [](const PhaseStats& p) {
+    json::Value v{json::Value::Object{}};
+    auto& o = v.as_object();
+    o.emplace_back("jobs", p.jobs);
+    o.emplace_back("runs_per_hour", p.runs_per_hour);
+    o.emplace_back("p50_latency_seconds", p.p50_latency);
+    o.emplace_back("p99_latency_seconds", p.p99_latency);
+    o.emplace_back("field_cache_hits", static_cast<long long>(
+                                           p.field_cache_hits));
+    o.emplace_back("graph_cache_hits", static_cast<long long>(
+                                           p.graph_cache_hits));
+    o.emplace_back("rejected", static_cast<long long>(p.rejected));
+    o.emplace_back("physics_identical", p.physics_identical);
+    return v;
+  };
+  json::Value doc{json::Value::Object{}};
+  auto& root = doc.as_object();
+  root.emplace_back("bench", "ensemble");
+  root.emplace_back("shapes", static_cast<long long>(nshapes));
+  root.emplace_back("workers", static_cast<long long>(workers));
+  root.emplace_back("nranks", static_cast<long long>(nranks));
+  root.emplace_back("prewarmed", static_cast<long long>(prewarm_count));
+  root.emplace_back("shape_references", std::move(shapes_arr));
+  root.emplace_back("cold", phase_json(cold));
+  root.emplace_back("warm", phase_json(warm));
+  root.emplace_back("warm_speedup", speedup);
+  std::ofstream jf(out);
+  json::write(jf, doc, 2);
+  std::cout << "results written to " << out << "\n";
+
+  if (!identical) return 1;
+  if (speedup < min_speedup) {
+    std::cerr << "FAIL: warm/cold speedup " << speedup << "x below gate "
+              << min_speedup << "x\n";
+    return 1;
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 // "the manually managed memory run completes almost three full iterations
 // in the same time it takes the UM run to complete one".
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -13,6 +14,7 @@
 
 #include "bench_support/run_experiment.hpp"
 #include "telemetry/perfetto.hpp"
+#include "util/options.hpp"
 #include "util/table.hpp"
 #include "variants/code_version.hpp"
 
@@ -46,7 +48,14 @@ TraceRun trace_for(variants::CodeVersion version) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Artifacts land under --outdir (default: build/, which is gitignored)
+  // instead of the working directory, so running the bench from a source
+  // checkout never litters the repo root with trace files.
+  Options opts(argc, argv);
+  const std::filesystem::path outdir = opts.get("outdir", "build");
+  std::filesystem::create_directories(outdir);
+
   std::cout << "Fig. 4 reproduction: modeled timeline on 8 A100 GPUs "
                "(rank 0, one solver step window)\n\n";
 
@@ -87,9 +96,9 @@ int main() {
             << "  (paper: ~3x — \"almost three full iterations in the time "
                "the UM run completes one\")\n";
 
-  std::ofstream csv("fig4_trace_manual.csv");
+  std::ofstream csv(outdir / "fig4_trace_manual.csv");
   manual.rec.write_csv(csv);
-  std::ofstream csv2("fig4_trace_unified.csv");
+  std::ofstream csv2(outdir / "fig4_trace_unified.csv");
   um.rec.write_csv(csv2);
 
   // Combined Perfetto/Chrome trace: one process per (run, rank) so the
@@ -104,16 +113,16 @@ int main() {
     sources.push_back({100 + static_cast<int>(r),
                        "unified/rank " + std::to_string(r),
                        &um.res.rank_traces[r]});
-  std::ofstream perfetto("fig4_trace.perfetto.json");
+  std::ofstream perfetto(outdir / "fig4_trace.perfetto.json");
   telemetry::write_perfetto_json(perfetto, sources);
 
   // Hot-spot profile of the manual run (all ranks merged).
-  std::ofstream prof("BENCH_profile.json");
+  std::ofstream prof(outdir / "BENCH_profile.json");
   manual.res.profile.write_json(prof);
 
-  std::cout << "\nfull event traces written to fig4_trace_manual.csv / "
-               "fig4_trace_unified.csv / fig4_trace.perfetto.json "
-               "(load in ui.perfetto.dev); hot-spot profile in "
-               "BENCH_profile.json\n";
+  std::cout << "\nfull event traces written to " << outdir.string()
+            << "/fig4_trace_manual.csv / fig4_trace_unified.csv / "
+               "fig4_trace.perfetto.json (load in ui.perfetto.dev); "
+               "hot-spot profile in BENCH_profile.json\n";
   return 0;
 }

@@ -44,7 +44,7 @@
 #include "bench_support/host_threads.hpp"
 #include "bench_support/run_experiment.hpp"
 #include "par/engine.hpp"
-#include "par/site_registry.hpp"
+#include "par/site_table.hpp"
 #include "util/timer.hpp"
 #include "variants/code_version.hpp"
 

@@ -18,6 +18,17 @@
 // Outside a kernel body the mode is Idle and note() is a single branch,
 // so host-side access (tests, I/O) costs one predictable-untaken branch.
 // With validation off no slot is attached at all.
+//
+// Iteration tags are *scoped to the arming validator*: engines may share
+// one ThreadPool, so a pool thread can run bodies of several engines in
+// any interleaving. The thread-local tag therefore carries which
+// validator's engine published it and for which armed window
+// (body_begin bumps a per-validator sequence); note_element ignores tags
+// from a different owner or a stale window. Without the scope, a body of
+// engine B touching an array instrumented by engine A would stamp A's
+// element tags with B's (or a stale) iteration id and manufacture
+// DuplicateWrite/FusedConflict findings that no single-engine run could
+// produce — see tests/test_service_concurrency.cpp for the regression.
 
 #include <atomic>
 #include <cstddef>
@@ -29,15 +40,33 @@ namespace simas::analysis {
 
 class Validator;
 
-/// Flat iteration id of the kernel body executing on this thread,
-/// 1-based; 0 means "not inside a tracked kernel body". The Engine's
-/// execute loops set this (only when validation is on) so that element
-/// tags can distinguish writes from different loop iterations.
-inline thread_local u64 tl_iteration = 0;
+/// Thread-local identity of the kernel body executing on this thread:
+/// which validator's engine is running it (owner), which armed window of
+/// that validator it belongs to, and the flat iteration id (1-based;
+/// 0 = not inside a tracked body). Never reset between bodies — staleness
+/// is detected by the owner/window match in note_element, not by
+/// clearing (clearing would put a write on every body exit).
+struct IterationTag {
+  const Validator* owner = nullptr;
+  u64 window = 0;
+  u64 iteration = 0;
+};
 
-inline void set_current_iteration(i64 flat) {
+inline thread_local IterationTag tl_iteration_tag;
+
+/// Engine-side handle naming the validator (and its current armed window)
+/// on whose behalf the execute loops publish iteration ids.
+struct ShadowExecContext {
+  const Validator* owner = nullptr;
+  u64 window = 0;
+};
+
+inline void set_current_iteration(const ShadowExecContext& ctx, i64 flat) {
+  IterationTag& t = tl_iteration_tag;
+  t.owner = ctx.owner;
+  t.window = ctx.window;
   // Truncated to 32 bits in the tag; collisions need > 4G-cell loops.
-  tl_iteration = (static_cast<u64>(flat) & 0xffffffffu) + 1;
+  t.iteration = (static_cast<u64>(flat) & 0xffffffffu) + 1;
 }
 
 class ShadowSlot {
@@ -45,8 +74,13 @@ class ShadowSlot {
   enum class Mode : unsigned char { Idle, Touch, WriteTrack, ReadCheck };
 
   /// Hot path: called from Array3::operator() for every element access.
+  /// mode_ is an atomic because a foreign engine's pool thread may read
+  /// it while the owner arms/disarms (cross-engine array sharing only
+  /// happens in tests, but the load must still be race-free); relaxed is
+  /// enough — within one engine the pool's job publication orders the
+  /// arming writes before any body runs.
   void note(std::size_t off) {
-    const Mode m = mode_;
+    const Mode m = mode_.load(std::memory_order_relaxed);
     if (m == Mode::Idle) return;
     if (inflight_.load(std::memory_order_acquire)) [[unlikely]]
       note_inflight(off);
@@ -63,9 +97,12 @@ class ShadowSlot {
   /// In-flight ghost-plane check (overlapped halo exchange); validator.cpp.
   void note_inflight(std::size_t off);
 
-  Validator* owner_ = nullptr;
+  Validator* owner_ = nullptr;  ///< set once at attach, immutable after
   int array_id_ = -1;  ///< gpusim::ArrayId of the instrumented array
-  Mode mode_ = Mode::Idle;
+  std::atomic<Mode> mode_{Mode::Idle};
+  /// Armed-window sequence stamped by the owner's body_begin; tags from
+  /// other windows (stale or foreign) are ignored in note_element.
+  std::atomic<u64> armed_window_{0};
   std::atomic<bool> touched_{false};
   /// Tag template of the active op: (chain_id << 40) | (op_slot << 32).
   /// OR-ed with the thread's iteration id to form a full element tag.

@@ -24,11 +24,20 @@ const par::KernelOp* kernel_payload(const par::StreamOp& op) {
 }  // namespace
 
 void ShadowSlot::note_element(std::size_t off) {
-  const u64 iter = tl_iteration;
+  // Only honor iteration ids published for *this* slot's validator and
+  // for the *currently armed* window: a pool thread may carry a tag from
+  // another engine (shared ThreadPool) or from an earlier body (tags are
+  // never cleared), and stamping foreign/stale ids into the element tags
+  // would manufacture conflicts no single-engine run could produce.
+  const IterationTag& t = tl_iteration_tag;
+  if (t.owner != owner_ ||
+      t.window != armed_window_.load(std::memory_order_relaxed))
+    return;
+  const u64 iter = t.iteration;
   if (iter == 0 || tags_ == nullptr) return;
   auto& tags = *tags_;
   if (off >= tags.size()) return;
-  if (mode_ == Mode::WriteTrack) {
+  if (mode_.load(std::memory_order_relaxed) == Mode::WriteTrack) {
     const u64 mine = chain_tag_ | iter;
     const u64 prev = tags[off].exchange(mine, std::memory_order_relaxed);
     if (prev != 0 && prev != mine && chain_of(prev) == chain_of(mine))
@@ -181,6 +190,10 @@ void Validator::body_begin() {
     return;
   }
   armed_ = true;
+  // New armed window: iteration ids published by the engine's execute
+  // loops for this body carry this sequence number; note_element ignores
+  // every other (owner, window) pair.
+  ++window_seq_;
   current_site_ = pending_.site->name;
   const u64 chain_tag =
       ((chain_id_ & 0xffffffu) << 40) | ((op_slot_ & 0xffu) << 32);
@@ -188,6 +201,7 @@ void Validator::body_begin() {
     if (!st.slot) continue;
     ShadowSlot& s = *st.slot;
     s.touched_.store(false, std::memory_order_relaxed);
+    s.armed_window_.store(window_seq_, std::memory_order_relaxed);
     bool declared_r = false, declared_w = false;
     for (const par::Access& a : pending_.accesses)
       if (a.id == id) (a.write ? declared_w : declared_r) = true;
@@ -218,7 +232,7 @@ void Validator::body_begin() {
       s.tags_ = st.tags.get();
       s.chain_tag_ = chain_tag;
     }
-    s.mode_ = m;
+    s.mode_.store(m, std::memory_order_relaxed);
   }
 }
 
@@ -230,8 +244,9 @@ void Validator::body_end() {
   for (auto& [id, st] : arrays_) {
     if (!st.slot) continue;
     ShadowSlot& s = *st.slot;
-    const ShadowSlot::Mode mode = s.mode_;
-    s.mode_ = ShadowSlot::Mode::Idle;
+    const ShadowSlot::Mode mode =
+        s.mode_.load(std::memory_order_relaxed);
+    s.mode_.store(ShadowSlot::Mode::Idle, std::memory_order_relaxed);
     const bool touched = s.touched_.load(std::memory_order_relaxed);
     bool declared_r = false, declared_w = false;
     for (const par::Access& a : pending_.accesses)

@@ -62,6 +62,12 @@ class Validator final : public gpusim::MemoryObserver {
   /// Bracket the execution of the body belonging to the last kernel op.
   void body_begin();
   void body_end();
+  /// Sequence number of the armed window started by the last body_begin.
+  /// The Engine's execute loops publish it (with the validator identity)
+  /// in the thread-local iteration tag, so shadow slots can reject
+  /// iteration ids from other engines or stale windows when several
+  /// engines share one ThreadPool.
+  u64 current_window() const { return window_seq_; }
 
   // ---- Shadow attachment (called by Field construction/destruction) ----
   ShadowSlot* attach_shadow(gpusim::ArrayId id, std::size_t elements);
@@ -137,6 +143,7 @@ class Validator final : public gpusim::MemoryObserver {
   };
   PendingKernel pending_;
   bool armed_ = false;
+  u64 window_seq_ = 0;  ///< armed-window sequence (see current_window())
   std::string current_site_;  ///< site name during body execution
 
   i64 op_index_ = 0;

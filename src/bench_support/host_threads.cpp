@@ -1,20 +1,17 @@
 #include "bench_support/host_threads.hpp"
 
 #include <algorithm>
-#include <cstdlib>
-#include <string>
 #include <thread>
+
+#include "par/env_config.hpp"
 
 namespace simas::bench_support {
 
-int resolve_host_threads(int requested) {
+int resolve_host_threads(int requested, const par::EnvConfig* env) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("SIMAS_HOST_THREADS");
-      env != nullptr && env[0] != '\0') {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
-  }
+  const par::EnvConfig& e =
+      env != nullptr ? *env : par::EnvConfig::process();
+  if (e.host_threads > 0) return e.host_threads;
   return std::max(1u, std::thread::hardware_concurrency());
 }
 

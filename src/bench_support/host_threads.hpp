@@ -4,15 +4,22 @@
 // decision is made, so SIMAS_HOST_THREADS behaves identically across
 // bench_stream_micro, bench_host_exec and run_experiment.
 
+namespace simas::par {
+struct EnvConfig;
+}
+
 namespace simas::bench_support {
 
 /// Total host execution threads to use. Priority order:
 ///  1. `requested`, when positive (an explicit config / sweep value);
-///  2. SIMAS_HOST_THREADS environment variable, when set to a positive
-///     integer (unparsable / non-positive values are ignored) — this is
-///     the knob for the auto path;
+///  2. the env snapshot's host_threads (the SIMAS_HOST_THREADS variable,
+///     captured once per process — see par/env_config.hpp), when
+///     positive — this is the knob for the auto path;
 ///  3. std::thread::hardware_concurrency(), clamped to >= 1.
-int resolve_host_threads(int requested = 0);
+/// `env` defaults to the process snapshot; the service layer passes its
+/// SimContext's snapshot instead, so jobs never consult getenv mid-run.
+int resolve_host_threads(int requested = 0,
+                         const par::EnvConfig* env = nullptr);
 
 /// Split a total thread budget over `nranks` simulated ranks. Always >= 1
 /// per rank, even when nranks exceeds `threads_total` (the ranks are

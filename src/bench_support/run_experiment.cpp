@@ -1,13 +1,20 @@
 #include "bench_support/run_experiment.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 
 #include "bench_support/host_threads.hpp"
 #include "mhd/solver.hpp"
 #include "mpisim/comm.hpp"
+#include "par/graph_cache.hpp"
+#include "par/sim_context.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -27,23 +34,166 @@ double jitter_minutes(double minutes, double fraction, u64 seed, int sample) {
   return minutes * (1.0 + fraction * (2.0 * rng.uniform() - 1.0));
 }
 
+namespace {
+
+inline u64 fnv1a(u64 h, const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <class T>
+inline u64 fnv1a_value(u64 h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return fnv1a(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+u64 BoundaryConfig::hash() const {
+  u64 h = 14695981039346656037ull;
+  h = fnv1a_value(h, enabled);
+  h = fnv1a_value(h, seed);
+  h = fnv1a_value(h, modes);
+  h = fnv1a_value(h, amplitude);
+  h = fnv1a_value(h, b0);
+  h = fnv1a_value(h, tol);
+  h = fnv1a_value(h, maxit);
+  return h;
+}
+
+mhd::SurfaceBrFn boundary_surface_br(const BoundaryConfig& b) {
+  struct Mode {
+    double amp, lt, lp, phase;
+  };
+  // Draw the harmonic coefficients once, here, so the returned closure is
+  // a pure function of (θ, φ): calling it from any rank, any thread, in
+  // any order gives identical values for identical configs.
+  auto modes = std::make_shared<std::vector<Mode>>();
+  Rng rng(b.seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull);
+  modes->reserve(static_cast<std::size_t>(std::max(0, b.modes)));
+  for (int m = 0; m < b.modes; ++m) {
+    Mode md;
+    md.amp = b.amplitude * b.b0 * (0.5 + rng.uniform());
+    md.lt = 1.0 + static_cast<double>(m % 3);
+    md.lp = 1.0 + static_cast<double>(m % 4);
+    md.phase = 2.0 * 3.14159265358979323846 * rng.uniform();
+    modes->push_back(md);
+  }
+  const double b0 = b.b0;
+  return [modes, b0](real theta, real phi) -> real {
+    double v = 2.0 * b0 * std::cos(static_cast<double>(theta));
+    for (const Mode& m : *modes)
+      v += m.amp * std::sin(m.lt * static_cast<double>(theta)) *
+           std::cos(m.lp * static_cast<double>(phi) + m.phase);
+    return static_cast<real>(v);
+  };
+}
+
+std::string ExperimentConfig::shape_key() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "v%d_g%lldx%lldx%lld_s%.4f_n%d_h%d_b%016llx",
+                static_cast<int>(version), static_cast<long long>(grid.nr),
+                static_cast<long long>(grid.nt), static_cast<long long>(grid.np),
+                grid.r_stretch, nranks, overlap_halo ? 1 : 0,
+                static_cast<unsigned long long>(
+                    boundary.enabled ? boundary.hash() : 0ull));
+  return buf;
+}
+
+namespace {
+
+/// The six persistent arrays PFSS initialization defines; scratch (RHS,
+/// potential, PCG workspaces) is excluded because every step writes it
+/// before reading.
+struct BoundarySlot {
+  field::Field* field;
+  std::vector<real>* data;
+};
+
+std::array<BoundarySlot, 6> boundary_slots(
+    mhd::State& st, BoundaryFields::RankFields& rf) {
+  return {{{&st.br, &rf.br},
+           {&st.bt, &rf.bt},
+           {&st.bp, &rf.bp},
+           {&st.bcr, &rf.bcr},
+           {&st.bct, &rf.bct},
+           {&st.bcp, &rf.bcp}}};
+}
+
+void extract_boundary_fields(mhd::MasSolver& solver,
+                             BoundaryFields::RankFields& rf) {
+  for (BoundarySlot s : boundary_slots(solver.state(), rf)) {
+    s.field->update_host();
+    s.field->note_host_read();
+    const field::Array3& a = s.field->a();
+    s.data->assign(a.data(), a.data() + a.size());
+  }
+}
+
+void inject_boundary_fields(mhd::MasSolver& solver,
+                            const BoundaryFields& bf, int rank) {
+  mhd::State& st = solver.state();
+  const BoundaryFields::RankFields& rf =
+      bf.ranks.at(static_cast<std::size_t>(rank));
+  const std::pair<field::Field*, const std::vector<real>*> slots[] = {
+      {&st.br, &rf.br},   {&st.bt, &rf.bt},   {&st.bp, &rf.bp},
+      {&st.bcr, &rf.bcr}, {&st.bct, &rf.bct}, {&st.bcp, &rf.bcp}};
+  for (const auto& [field, data] : slots) {
+    field::Array3& a = field->a();
+    if (static_cast<idx>(data->size()) != a.size())
+      throw std::runtime_error(
+          "inject_boundary_fields: cached field '" + field->name() +
+          "' size mismatch (cache keyed on wrong grid/decomposition?)");
+    std::memcpy(a.data(), data->data(), data->size() * sizeof(real));
+    field->note_host_write();
+    field->update_device();
+  }
+}
+
+}  // namespace
+
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  const par::SimContext& ctx =
+      cfg.ctx != nullptr ? *cfg.ctx : par::SimContext::process();
+
   const i64 run_cells =
       static_cast<i64>(cfg.grid.nr) * cfg.grid.nt * cfg.grid.np;
   const double vol_scale = cfg.scale.vol_scale(run_cells);
   const double surf_scale = cfg.scale.surf_scale(run_cells);
 
   // host_threads_total == 0 (the default) auto-detects: SIMAS_HOST_THREADS
-  // wins, else hardware concurrency; >= 1 thread per rank even when nranks
-  // exceeds the hardware.
-  const int threads_total = resolve_host_threads(cfg.host_threads_total);
+  // (from the context's env snapshot) wins, else hardware concurrency;
+  // >= 1 thread per rank even when nranks exceeds the hardware. Irrelevant
+  // when a shared pool is borrowed — the pool's width governs.
+  const int threads_total =
+      resolve_host_threads(cfg.host_threads_total, &ctx.env());
   const int rank_threads =
       bench_support::threads_per_rank(threads_total, cfg.nranks);
+
+  if (cfg.boundary.enabled && cfg.boundary_fields != nullptr) {
+    const BoundaryFields& bf = *cfg.boundary_fields;
+    if (bf.nranks != cfg.nranks ||
+        static_cast<int>(bf.ranks.size()) != cfg.nranks)
+      throw std::runtime_error(
+          "run_experiment: injected BoundaryFields were extracted under a "
+          "different rank decomposition");
+  }
+  const std::string shape = cfg.shape_key();
 
   ExperimentResult result;
   result.ranks.resize(static_cast<std::size_t>(cfg.nranks));
   if (cfg.capture_trace)
     result.rank_traces.resize(static_cast<std::size_t>(cfg.nranks));
+  if (cfg.boundary_out != nullptr) {
+    cfg.boundary_out->grid = cfg.grid;
+    cfg.boundary_out->nranks = cfg.nranks;
+    cfg.boundary_out->ranks.assign(static_cast<std::size_t>(cfg.nranks),
+                                   BoundaryFields::RankFields{});
+  }
   std::mutex result_mutex;
 
   mpisim::World world(cfg.nranks);
@@ -53,6 +203,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     ecfg.graph_replay = cfg.graph_replay;
     ecfg.validate = cfg.validate;
     ecfg.overlap_halo = cfg.overlap_halo;
+    ecfg.ctx = &ctx;
+    ecfg.shared_pool = cfg.shared_pool;
+    ecfg.graph_cache = cfg.graph_cache;
+    if (cfg.graph_cache != nullptr)
+      ecfg.graph_cache_scope = shape + "/r" + std::to_string(rank);
     par::Engine engine(ecfg);
     engine.cost().set_scales(vol_scale, surf_scale);
     engine.cost().set_working_set_shrink(static_cast<double>(cfg.nranks));
@@ -63,6 +218,27 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     scfg.phys = cfg.phys;
     mhd::MasSolver solver(engine, comm, scfg);
     solver.initialize();
+
+    mhd::PfssResult pfss;
+    if (cfg.boundary.enabled) {
+      if (cfg.boundary_fields != nullptr) {
+        // Cache hit: the solved field's raw bytes replace the PCG solve.
+        inject_boundary_fields(solver, *cfg.boundary_fields, rank);
+        pfss = cfg.boundary_fields->info;
+      } else {
+        pfss = mhd::pfss_initialize(solver.context(),
+                                    boundary_surface_br(cfg.boundary),
+                                    static_cast<real>(cfg.boundary.tol),
+                                    cfg.boundary.maxit);
+      }
+      // Extract *now*, before any step evolves the field: the cache holds
+      // the PFSS solution itself. Each rank writes only its own vector
+      // slot (the container was sized before world.run), so no lock.
+      if (cfg.boundary_out != nullptr)
+        extract_boundary_fields(
+            solver,
+            cfg.boundary_out->ranks[static_cast<std::size_t>(rank)]);
+    }
 
     for (int s = 0; s < cfg.warmup_steps; ++s) solver.step();
 
@@ -105,6 +281,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       result.rank_traces[static_cast<std::size_t>(rank)] = engine.tracer();
     if (rank == 0) {
       result.final_diag = diag;
+      result.pfss = pfss;
+      if (cfg.boundary_out != nullptr) cfg.boundary_out->info = pfss;
       if (cfg.capture_trace) {
         result.trace = engine.tracer();
         result.trace_t0 = t0;
@@ -131,11 +309,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   // gauges Max/Sum as declared, histograms add bucket-wise).
   for (const auto& r : result.ranks) result.metrics.merge_from(r.metrics);
 
-  const char* profile_env = std::getenv("SIMAS_PROFILE");
-  const bool profile_forced =
-      profile_env != nullptr && profile_env[0] != '\0' &&
-      profile_env[0] != '0';
-  if (cfg.profile || profile_forced) {
+  // SIMAS_PROFILE forces the printout; read from the one-time env
+  // snapshot, never from getenv() mid-run.
+  if (cfg.profile || ctx.env().profile) {
     result.profile.print(std::cout);
     std::cout << '\n';
   }

@@ -4,19 +4,68 @@
 // wall-clock and MPI time. This is the engine behind every table/figure
 // bench.
 
+#include <string>
 #include <vector>
 
 #include "bench_support/paper_scale.hpp"
 #include "gpusim/device_spec.hpp"
 #include "mhd/config.hpp"
 #include "mhd/ops.hpp"
+#include "mhd/pfss.hpp"
 #include "par/engine.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/profiler.hpp"
 #include "trace/trace.hpp"
 #include "variants/code_version.hpp"
 
+namespace simas::par {
+class SimContext;
+class ThreadPool;
+class GraphCache;
+}  // namespace simas::par
+
 namespace simas::bench_support {
+
+/// Boundary-data configuration: the observed photospheric Br map a
+/// production run starts from, modeled as a dipole plus seeded low-order
+/// harmonics. Two configs with equal fields describe the *same* boundary
+/// data; the PFSS initialization they imply is a pure function of this
+/// struct (plus grid and rank count), which is what makes the service
+/// layer's shared field cache sound.
+struct BoundaryConfig {
+  bool enabled = false;   ///< run the PFSS initializer after initialize()
+  u64 seed = 7;           ///< seeds the harmonic amplitudes/phases
+  int modes = 4;          ///< harmonics added on top of the dipole
+  double amplitude = 0.2; ///< per-mode amplitude, relative to b0
+  double b0 = 1.0;        ///< dipole strength (Br = 2 b0 cosθ)
+  double tol = 1.0e-8;    ///< PFSS PCG tolerance
+  int maxit = 500;        ///< PFSS PCG iteration cap
+  /// Content hash of the boundary data this config describes (FNV-1a over
+  /// the packed fields). Combined with grid + nranks it keys the service
+  /// layer's shared boundary-field cache.
+  u64 hash() const;
+};
+
+/// The PFSS-initialized magnetic field, extracted as raw per-rank array
+/// contents (ghosts included) so an identically-configured run can inject
+/// them and skip the PCG solve entirely. Injection is bit-identical to
+/// re-solving: kernels execute on the same host arrays the extraction
+/// copied, so byte-equal inputs give byte-equal physics.
+struct BoundaryFields {
+  struct RankFields {
+    std::vector<real> br, bt, bp;     ///< face field (CT staggering)
+    std::vector<real> bcr, bct, bcp;  ///< center-interpolated field
+  };
+  grid::GridConfig grid;  ///< grid the fields were solved on
+  int nranks = 0;         ///< decomposition they were solved under
+  mhd::PfssResult info;   ///< solve convergence record (rank-agnostic)
+  std::vector<RankFields> ranks;
+};
+
+/// Deterministic surface-Br function described by `b`: dipole plus seeded
+/// harmonics. Pure function of the config — equal configs return
+/// pointwise-equal functions.
+mhd::SurfaceBrFn boundary_surface_br(const BoundaryConfig& b);
 
 struct ExperimentConfig {
   variants::CodeVersion version = variants::CodeVersion::A;
@@ -44,9 +93,36 @@ struct ExperimentConfig {
   bool overlap_halo = false;
   /// Print the cross-rank hot-spot profile (top kernel sites by modeled
   /// time) after the run. Also forced by the SIMAS_PROFILE environment
-  /// variable; the merged profile is returned in ExperimentResult::profile
-  /// either way.
+  /// variable (via the context's EnvConfig snapshot); the merged profile
+  /// is returned in ExperimentResult::profile either way.
   bool profile = false;
+
+  // --- Re-entrancy / service-layer hooks -------------------------------
+  /// Context supplying the env snapshot (and optional default shared
+  /// pool) for every engine this run creates. Null = the process context.
+  const par::SimContext* ctx = nullptr;
+  /// Execution threads borrowed from the caller (the JobServer's shared
+  /// pool). Null = each rank engine owns a pool of `rank_threads`.
+  par::ThreadPool* shared_pool = nullptr;
+  /// Cross-engine captured-graph cache. When set, each rank engine seeds
+  /// its graph scopes from (and publishes finished captures to) the cache
+  /// under `shape_key() + "/r<rank>"`, so jobs of identical shape replay
+  /// from their very first pass.
+  par::GraphCache* graph_cache = nullptr;
+
+  /// PFSS boundary initialization (see BoundaryConfig). When enabled and
+  /// `boundary_fields` is null, the PCG solve runs after initialize();
+  /// when `boundary_fields` is set, the solved field is injected instead
+  /// (bit-identical, no solve). `boundary_out`, when set, receives the
+  /// extracted per-rank fields for caching.
+  BoundaryConfig boundary;
+  const BoundaryFields* boundary_fields = nullptr;
+  BoundaryFields* boundary_out = nullptr;
+
+  /// Stable key describing the *shape* of the kernel stream this config
+  /// produces (version, grid, rank count, halo/graph flags, boundary
+  /// hash). Jobs with equal shape keys share captured graphs safely.
+  std::string shape_key() const;
 };
 
 struct RankTiming {
@@ -88,6 +164,9 @@ struct ExperimentResult {
 
   std::vector<RankTiming> ranks;
   mhd::GlobalDiagnostics final_diag;  ///< physics validation handle
+  /// PFSS convergence record when ExperimentConfig::boundary.enabled
+  /// (copied from the injected cache entry when the solve was skipped).
+  mhd::PfssResult pfss;
   trace::Recorder trace;              ///< rank 0 timeline, if captured
   double trace_t0 = 0.0, trace_t1 = 0.0;  ///< measured window (modeled s)
   /// Every rank's timeline (capture_trace records all ranks; trace above

@@ -2,26 +2,29 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <utility>
 
 #include "analysis/validator.hpp"
+#include "par/graph_cache.hpp"
 #include "util/logging.hpp"
 
 namespace simas::par {
 
-namespace {
-bool env_flag(const char* name) {
-  const char* v = std::getenv(name);
-  return v != nullptr && v[0] != '\0' && v[0] != '0';
-}
-}  // namespace
-
 Engine::Engine(EngineConfig cfg)
     : cfg_(cfg),
       cost_(cfg.device),
-      mem_(cfg.memory, &cost_, &ledger_),
-      pool_(cfg.host_threads) {
+      mem_(cfg.memory, &cost_, &ledger_) {
+  const SimContext& ctx = cfg_.ctx != nullptr ? *cfg_.ctx
+                                              : SimContext::process();
+  // Execution threads: borrow the configured/shared pool, else own one.
+  ThreadPool* shared =
+      cfg_.shared_pool != nullptr ? cfg_.shared_pool : ctx.shared_pool();
+  if (shared != nullptr) {
+    pool_ = shared;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(cfg_.host_threads);
+    pool_ = owned_pool_.get();
+  }
   if (mem_.unified()) {
     // Paging pressure costs some sustained bandwidth even once resident
     // (observed as the modest non-MPI slowdown of the UM codes, Fig. 3).
@@ -32,8 +35,10 @@ Engine::Engine(EngineConfig cfg)
     // regions (paper Sec. V-C).
     cost_.set_dc_bw_penalty(0.985);
   }
-  if (env_flag("SIMAS_VALIDATE")) cfg_.validate = true;
-  if (env_flag("SIMAS_VALIDATE_FATAL")) {
+  // Environment overrides come from the context's one-time snapshot, not
+  // from getenv(): engines never observe ambient process state directly.
+  if (ctx.env().validate) cfg_.validate = true;
+  if (ctx.env().validate_fatal) {
     cfg_.validate = true;
     cfg_.validate_fatal = true;
   }
@@ -45,6 +50,7 @@ Engine::Engine(EngineConfig cfg)
     validator_ = std::make_unique<analysis::Validator>(cfg_, mem_);
     mem_.set_observer(validator_.get());
     shadow_exec_ = true;
+    shadow_ctx_.owner = validator_.get();
   }
 }
 
@@ -78,7 +84,12 @@ analysis::ValidationReport Engine::take_validation_report() {
 }
 
 void Engine::body_begin() {
-  if (validator_ != nullptr) validator_->body_begin();
+  if (validator_ != nullptr) {
+    validator_->body_begin();
+    // Execute loops stamp this (owner, window) pair into the thread-local
+    // iteration tag; slots armed by other validators reject it.
+    shadow_ctx_.window = validator_->current_window();
+  }
 }
 
 void Engine::body_end() {
@@ -169,6 +180,16 @@ void Engine::graph_begin(const std::string& name) {
   if (graph_depth_++ > 0) return;  // nested scope: the outer graph governs
   auto [it, inserted] = graphs_.try_emplace(name, name);
   active_graph_ = &it->second;
+  if (inserted && cfg_.graph_cache != nullptr) {
+    // First entry into this scope: seed from the cross-engine cache so
+    // jobs of identical shape replay from their very first pass. The
+    // local copy is engine-owned; divergence invalidates it locally only.
+    if (const CapturedGraph* cached =
+            cfg_.graph_cache->find(cfg_.graph_cache_scope, name)) {
+      *active_graph_ = *cached;
+      graph_stats_.cache_seeds++;
+    }
+  }
   if (active_graph_->captured()) {
     graph_mode_ = GraphMode::Replay;
     replay_cursor_ = 0;
@@ -197,6 +218,11 @@ void Engine::graph_end() {
   switch (graph_mode_) {
     case GraphMode::Capture:
       active_graph_->finalize();
+      // Publish finished captures for engines of the same shape
+      // (first-wins; identical captures by construction, so losing the
+      // race is harmless).
+      if (cfg_.graph_cache != nullptr)
+        cfg_.graph_cache->publish(cfg_.graph_cache_scope, *active_graph_);
       break;
     case GraphMode::Replay:
       sched_->set_replay_active(false);
@@ -247,6 +273,7 @@ telemetry::MetricsSnapshot Engine::metrics_snapshot() {
   registry_.counter("graph.replays").set(gs.replays);
   registry_.counter("graph.divergences").set(gs.divergences);
   registry_.counter("graph.replayed_ops").set(gs.replayed_ops);
+  registry_.counter("graph.cache_seeds").set(gs.cache_seeds);
   registry_.gauge("graph.launch_seconds", telemetry::Merge::Sum)
       .set(gs.graph_launch_seconds);
   registry_.gauge("graph.launch_seconds_saved", telemetry::Merge::Sum)

@@ -46,7 +46,8 @@
 #include "par/kernel_site.hpp"
 #include "par/range.hpp"
 #include "par/scheduler.hpp"
-#include "par/site_registry.hpp"
+#include "par/sim_context.hpp"
+#include "par/site_table.hpp"
 #include "par/stream.hpp"
 #include "par/thread_pool.hpp"
 #include "telemetry/engine_metrics.hpp"
@@ -309,7 +310,7 @@ class Engine {
       for (i64 b = 0; b < nblocks; ++b) fn(b);
     } else {
       metrics_.pool_jobs.add();
-      pool_.run_blocks(nblocks, fn);
+      pool_->run_blocks(nblocks, fn);
     }
   }
 
@@ -343,7 +344,8 @@ class Engine {
       for (i64 p = p0; p < p1; ++p) {
         for (idx i = r.i0; i < r.i1; ++i) {
           if constexpr (kShadow)
-            analysis::set_current_iteration(p * ni + (i - r.i0));
+            analysis::set_current_iteration(shadow_ctx_,
+                                            p * ni + (i - r.i0));
           body(i, j, k);
         }
         if (++j == r.j1) {
@@ -372,7 +374,8 @@ class Engine {
       const idx lo = r.begin + static_cast<idx>(b * chunk);
       const idx hi = std::min<idx>(r.end, lo + static_cast<idx>(chunk));
       for (idx i = lo; i < hi; ++i) {
-        if constexpr (kShadow) analysis::set_current_iteration(i - r.begin);
+        if constexpr (kShadow)
+          analysis::set_current_iteration(shadow_ctx_, i - r.begin);
         body(i);
       }
     });
@@ -473,7 +476,8 @@ class Engine {
     // part of the results), like the scalar reductions.
     const i64 nblocks = ni;
     dispatch_blocks(nblocks, static_cast<i64>(r.count()), [&](i64 b) {
-      if constexpr (kShadow) analysis::set_current_iteration(b);
+      if constexpr (kShadow)
+        analysis::set_current_iteration(shadow_ctx_, b);
       const idx i = r.i0 + static_cast<idx>(b);
       real acc = 0.0;
       for (idx k = r.k0; k < r.k1; ++k)
@@ -487,7 +491,13 @@ class Engine {
   gpusim::CostModel cost_;
   gpusim::MemoryManager mem_;
   trace::Recorder tracer_;
-  ThreadPool pool_;
+  /// Kernel execution threads: borrowed (cfg.shared_pool / the context's
+  /// shared pool — N engines multiplexing one host-thread budget) or
+  /// owned. The multi-job pool makes concurrent run_blocks from several
+  /// engines safe; determinism is unaffected either way (partitioning is
+  /// caller-defined, the pool only places blocks).
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
   /// Store of record for every per-rank metric (see DESIGN.md §13).
   telemetry::Registry registry_;
   /// Hot-path handles into registry_, bound once in the constructor.
@@ -499,6 +509,13 @@ class Engine {
   /// Validation on: the execute loops publish per-iteration ids so shadow
   /// slots can tag touched elements.
   bool shadow_exec_ = false;
+  /// Identity the execute loops publish with each iteration id: this
+  /// engine's validator and its current armed window. Slots owned by
+  /// other engines (shared ThreadPool) ignore ids carrying a different
+  /// owner/window, so interleaved engines cannot cross-pollute element
+  /// tags. Updated by body_begin on the rank thread; pool workers read it
+  /// after the job publication fence.
+  analysis::ShadowExecContext shadow_ctx_;
   /// Reused per-block partials scratch for reduce3/reduce1 (sized to the
   /// largest reduction seen; steady-state reductions never allocate).
   std::vector<real> partials_;

@@ -1,0 +1,40 @@
+#include "par/env_config.hpp"
+
+#include <cstdlib>
+
+namespace simas::par {
+
+namespace {
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+int env_positive_int(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return 0;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || n <= 0) return 0;
+  return static_cast<int>(n);
+}
+
+}  // namespace
+
+EnvConfig EnvConfig::capture() {
+  EnvConfig e;
+  e.validate = env_flag("SIMAS_VALIDATE");
+  e.validate_fatal = env_flag("SIMAS_VALIDATE_FATAL");
+  if (e.validate_fatal) e.validate = true;
+  e.profile = env_flag("SIMAS_PROFILE");
+  e.host_threads = env_positive_int("SIMAS_HOST_THREADS");
+  return e;
+}
+
+const EnvConfig& EnvConfig::process() {
+  static const EnvConfig snapshot = capture();
+  return snapshot;
+}
+
+}  // namespace simas::par

@@ -1,0 +1,33 @@
+#pragma once
+// One-time snapshot of every SIMAS_* environment variable the simulator
+// honors. The process used to consult getenv() mid-run (engine
+// construction, thread-count resolution, profile printing), which made a
+// second concurrent run_experiment observe ambient process state it did
+// not own. All getenv() calls now live in EnvConfig::capture(); everything
+// downstream receives the snapshot through SimContext / EngineConfig /
+// ExperimentConfig and never touches the environment again.
+
+namespace simas::par {
+
+struct EnvConfig {
+  /// SIMAS_VALIDATE: force the kernel-stream validator on.
+  bool validate = false;
+  /// SIMAS_VALIDATE_FATAL: validator errors abort at Engine teardown
+  /// (implies validate).
+  bool validate_fatal = false;
+  /// SIMAS_PROFILE: print the merged hot-spot profile after experiments.
+  bool profile = false;
+  /// SIMAS_HOST_THREADS: total host execution threads (0 = unset; the
+  /// resolution policy in bench_support/host_threads.hpp then falls back
+  /// to hardware concurrency).
+  int host_threads = 0;
+
+  /// Read the environment now. The only getenv() calls in the library.
+  static EnvConfig capture();
+
+  /// The snapshot taken the first time anyone asks. Immutable afterwards:
+  /// changing the environment mid-process is not observed, by design.
+  static const EnvConfig& process();
+};
+
+}  // namespace simas::par

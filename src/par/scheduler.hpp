@@ -21,6 +21,7 @@
 // monolithic engine arithmetic.
 
 #include <memory>
+#include <string>
 
 #include "gpusim/clock_ledger.hpp"
 #include "gpusim/cost_model.hpp"
@@ -33,6 +34,10 @@
 #include "util/types.hpp"
 
 namespace simas::par {
+
+class SimContext;
+class ThreadPool;
+class GraphCache;
 
 enum class LoopModel { Acc, Dc2018, Dc2x };
 
@@ -68,6 +73,24 @@ struct EngineConfig {
   bool overlap_halo = false;
   int host_threads = 1;          ///< real execution threads for kernels
   gpusim::DeviceSpec device = gpusim::a100_40gb();
+
+  // ---- Re-entrancy / service-layer wiring (see par/sim_context.hpp) ----
+  /// Context the engine runs under: environment snapshot, site table,
+  /// optional shared host pool. nullptr = SimContext::process() (the
+  /// immutable process-default context).
+  const SimContext* ctx = nullptr;
+  /// Borrow this pool for kernel execution instead of owning worker
+  /// threads (overrides host_threads; also set via ctx->shared_pool()).
+  /// Must outlive the Engine.
+  ThreadPool* shared_pool = nullptr;
+  /// Cross-engine captured-graph reuse: on first entry to a graph scope
+  /// the engine seeds its local graph from cache[graph_cache_scope, name]
+  /// (replay from pass one), and publishes its own finished captures
+  /// back (first-wins). nullptr = engine-local graphs only.
+  GraphCache* graph_cache = nullptr;
+  /// Cache partition key: engines with equal scopes must record identical
+  /// op streams (same code version, device, grid slab, rank).
+  std::string graph_cache_scope;
 };
 
 /// Snapshot view of the engine.* metrics family, assembled by value from

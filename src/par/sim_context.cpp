@@ -1,0 +1,10 @@
+#include "par/sim_context.hpp"
+
+namespace simas::par {
+
+const SimContext& SimContext::process() {
+  static const SimContext ctx;
+  return ctx;
+}
+
+}  // namespace simas::par

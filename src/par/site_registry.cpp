@@ -1,75 +1,11 @@
 #include "par/site_registry.hpp"
 
-#include <stdexcept>
-
 namespace simas::par {
 
-const char* site_kind_name(SiteKind k) {
-  switch (k) {
-    case SiteKind::ParallelLoop: return "parallel_loop";
-    case SiteKind::ScalarReduction: return "scalar_reduction";
-    case SiteKind::ArrayReduction: return "array_reduction";
-    case SiteKind::AtomicUpdate: return "atomic_update";
-    case SiteKind::IntrinsicKernels: return "intrinsic_kernels";
-  }
-  return "?";
-}
-
+// The shim is stateless: every method forwards to SiteTable::process().
 SiteRegistry& SiteRegistry::instance() {
-  static SiteRegistry reg;
-  return reg;
-}
-
-const KernelSite& SiteRegistry::register_site(KernelSite proto) {
-  if (proto.name.empty())
-    throw std::invalid_argument("SiteRegistry: kernel site needs a name");
-  if (proto.fusion_group < 0)
-    throw std::invalid_argument("SiteRegistry: fusion group of site '" +
-                                proto.name + "' must be >= 0 (0 = none)");
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& s : sites_) {
-    if (s.name != proto.name) continue;
-    // Same name must mean the same site: a second registration with
-    // different properties is a copy-paste bug that would silently take
-    // the first registration's accounting.
-    if (s.kind != proto.kind || s.fusion_group != proto.fusion_group ||
-        s.calls_routine != proto.calls_routine ||
-        s.uses_derived_type != proto.uses_derived_type ||
-        s.async_capable != proto.async_capable ||
-        s.surface_scaled != proto.surface_scaled) {
-      throw std::logic_error(
-          "SiteRegistry: site '" + proto.name +
-          "' re-registered with different properties (duplicate name?)");
-    }
-    return s;
-  }
-  proto.id = static_cast<int>(sites_.size());
-  sites_.push_back(std::move(proto));
-  return sites_.back();
-}
-
-std::vector<KernelSite> SiteRegistry::all() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return std::vector<KernelSite>(sites_.begin(), sites_.end());
-}
-
-std::size_t SiteRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return sites_.size();
-}
-
-KernelSite make_site(std::string name, SiteKind kind, int fusion_group,
-                     bool calls_routine, bool uses_derived_type,
-                     bool async_capable, bool surface_scaled) {
-  KernelSite s;
-  s.name = std::move(name);
-  s.kind = kind;
-  s.fusion_group = fusion_group;
-  s.calls_routine = calls_routine;
-  s.uses_derived_type = uses_derived_type;
-  s.async_capable = async_capable;
-  s.surface_scaled = surface_scaled;
-  return s;
+  static SiteRegistry shim;
+  return shim;
 }
 
 }  // namespace simas::par

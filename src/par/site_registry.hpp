@@ -1,50 +1,38 @@
 #pragma once
-// Process-wide registry of kernel call-sites. Sites are registered lazily
-// the first time a call-site executes (via the SIMAS_SITE macro) and are
-// stable for the lifetime of the process. Thread-safe: solver ranks run in
-// threads and share the registry.
+// DEPRECATED — compatibility shim over par/site_table.hpp.
+//
+// SiteRegistry used to be the process-global mutable singleton holding
+// kernel-site metadata. It has been split: the immutable interned table is
+// par::SiteTable (lock-free reads, stable pointers shared by every engine
+// in the process); per-engine site state lives in the Engine (telemetry
+// SiteProfiler, metrics registry). This header keeps out-of-tree callers
+// of SiteRegistry::instance() / SIMAS_SITE compiling for one release; the
+// SIMAS_SITE macro itself now lives in site_table.hpp and interns there.
 
-#include <deque>
-#include <mutex>
-#include <string>
-#include <vector>
+#include <utility>
 
-#include "par/kernel_site.hpp"
+#include "par/site_table.hpp"
 
 namespace simas::par {
 
 class SiteRegistry {
  public:
+  [[deprecated(
+      "SiteRegistry is now a shim over par::SiteTable; use "
+      "SiteTable::process()")]]
   static SiteRegistry& instance();
 
-  /// Register (or fetch the previously registered) site with this name.
-  /// Throws std::invalid_argument for an empty name or negative fusion
-  /// group, and std::logic_error if the name is re-registered with
-  /// different kind/flags (two distinct call sites sharing a name).
-  const KernelSite& register_site(KernelSite proto);
+  /// Forwards to SiteTable::process().intern().
+  const KernelSite& register_site(KernelSite proto) {
+    return SiteTable::process().intern(std::move(proto));
+  }
 
-  /// Snapshot of all sites registered so far.
-  std::vector<KernelSite> all() const;
+  std::vector<KernelSite> all() const { return SiteTable::process().all(); }
 
-  std::size_t size() const;
+  std::size_t size() const { return SiteTable::process().size(); }
 
  private:
   SiteRegistry() = default;
-  mutable std::mutex mutex_;
-  // deque: growth never invalidates references returned by register_site().
-  std::deque<KernelSite> sites_;
 };
-
-/// Helper for static per-call-site registration:
-///   static const KernelSite& site = SIMAS_SITE("advance_rho",
-///                                              SiteKind::ParallelLoop, 3);
-#define SIMAS_SITE(...)                                            \
-  ::simas::par::SiteRegistry::instance().register_site(            \
-      ::simas::par::make_site(__VA_ARGS__))
-
-KernelSite make_site(std::string name, SiteKind kind, int fusion_group = 0,
-                     bool calls_routine = false,
-                     bool uses_derived_type = false,
-                     bool async_capable = true, bool surface_scaled = false);
 
 }  // namespace simas::par

@@ -1,0 +1,90 @@
+#include "par/site_table.hpp"
+
+#include <stdexcept>
+
+namespace simas::par {
+
+const char* site_kind_name(SiteKind k) {
+  switch (k) {
+    case SiteKind::ParallelLoop: return "parallel_loop";
+    case SiteKind::ScalarReduction: return "scalar_reduction";
+    case SiteKind::ArrayReduction: return "array_reduction";
+    case SiteKind::AtomicUpdate: return "atomic_update";
+    case SiteKind::IntrinsicKernels: return "intrinsic_kernels";
+  }
+  return "?";
+}
+
+SiteTable::~SiteTable() {
+  for (auto& c : chunks_) delete[] c.load(std::memory_order_relaxed);
+}
+
+SiteTable& SiteTable::process() {
+  static SiteTable table;
+  return table;
+}
+
+const KernelSite& SiteTable::intern(KernelSite proto) {
+  if (proto.name.empty())
+    throw std::invalid_argument("SiteTable: kernel site needs a name");
+  if (proto.fusion_group < 0)
+    throw std::invalid_argument("SiteTable: fusion group of site '" +
+                                proto.name + "' must be >= 0 (0 = none)");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = count_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const KernelSite& s = at(i);
+    if (s.name != proto.name) continue;
+    // Same name must mean the same site: a second registration with
+    // different properties is a copy-paste bug that would silently take
+    // the first registration's accounting.
+    if (s.kind != proto.kind || s.fusion_group != proto.fusion_group ||
+        s.calls_routine != proto.calls_routine ||
+        s.uses_derived_type != proto.uses_derived_type ||
+        s.async_capable != proto.async_capable ||
+        s.surface_scaled != proto.surface_scaled) {
+      throw std::logic_error(
+          "SiteTable: site '" + proto.name +
+          "' re-interned with different properties (duplicate name?)");
+    }
+    return s;
+  }
+  if (n >= kChunk * kMaxChunks)
+    throw std::length_error("SiteTable: site capacity exhausted");
+  KernelSite* chunk = chunks_[n / kChunk].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new KernelSite[kChunk];
+    chunks_[n / kChunk].store(chunk, std::memory_order_release);
+  }
+  proto.id = static_cast<int>(n);
+  KernelSite& slot = chunk[n % kChunk];
+  slot = std::move(proto);
+  // Publish: a reader that observes the new count sees the fully
+  // constructed entry (release pairs with the acquire in size()).
+  count_.store(n + 1, std::memory_order_release);
+  return slot;
+}
+
+std::vector<KernelSite> SiteTable::all() const {
+  const std::size_t n = size();
+  std::vector<KernelSite> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(at(i));
+  return out;
+}
+
+KernelSite make_site(std::string name, SiteKind kind, int fusion_group,
+                     bool calls_routine, bool uses_derived_type,
+                     bool async_capable, bool surface_scaled) {
+  KernelSite s;
+  s.name = std::move(name);
+  s.kind = kind;
+  s.fusion_group = fusion_group;
+  s.calls_routine = calls_routine;
+  s.uses_derived_type = uses_derived_type;
+  s.async_capable = async_capable;
+  s.surface_scaled = surface_scaled;
+  return s;
+}
+
+}  // namespace simas::par

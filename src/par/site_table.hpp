@@ -1,0 +1,88 @@
+#pragma once
+// Process-wide interned table of kernel call-sites.
+//
+// Kernel sites are pure *metadata* — name, kind, fusion group, directive
+// flags — registered lazily the first time a call-site executes (via the
+// SIMAS_SITE macro below) and immutable afterwards. Interning them
+// process-wide (rather than per engine) is what makes KernelSite pointers
+// a stable identity across every Engine in the process: the kernel-stream
+// IR references sites by pointer, and captured graphs compare op
+// signatures by site pointer, so two engines running the same code path
+// produce byte-comparable op streams and can share captured graphs.
+//
+// Concurrency contract:
+//  * intern() takes a mutex (cold: once per call-site per process, behind
+//    a function-local static at every SIMAS_SITE expansion);
+//  * size() / at() / all() are lock-free. Entries live in fixed-capacity
+//    chunks whose pointers are published with release stores; a reader
+//    that observes size() == n can dereference any of the first n entries
+//    without synchronization. Entries never move and are never mutated
+//    after publication.
+//
+// Everything *stateful* about a site (per-launch accounting, hot-spot
+// profiles) is per-engine: telemetry::SiteProfiler and the engine metrics
+// registry key off the interned pointer/id but live in the Engine.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "par/kernel_site.hpp"
+
+namespace simas::par {
+
+class SiteTable {
+ public:
+  SiteTable() = default;
+  ~SiteTable();
+  SiteTable(const SiteTable&) = delete;
+  SiteTable& operator=(const SiteTable&) = delete;
+
+  /// Intern (or fetch the previously interned) site with this name.
+  /// Throws std::invalid_argument for an empty name or negative fusion
+  /// group, and std::logic_error if the name is re-interned with
+  /// different kind/flags (two distinct call sites sharing a name).
+  /// The returned reference is stable for the table's lifetime.
+  const KernelSite& intern(KernelSite proto);
+
+  /// Number of sites published so far (lock-free).
+  std::size_t size() const { return count_.load(std::memory_order_acquire); }
+
+  /// Site by interned id, i < size() (lock-free; no bounds check beyond
+  /// the published count in debug builds).
+  const KernelSite& at(std::size_t i) const {
+    return chunks_[i / kChunk].load(std::memory_order_acquire)[i % kChunk];
+  }
+
+  /// Snapshot of all sites interned so far.
+  std::vector<KernelSite> all() const;
+
+  /// The table every SIMAS_SITE call-site interns into. Append-only
+  /// metadata, not mutable run state: per-run state lives in
+  /// SimContext / Engine.
+  static SiteTable& process();
+
+ private:
+  static constexpr std::size_t kChunk = 64;
+  static constexpr std::size_t kMaxChunks = 256;  ///< 16384 sites
+
+  mutable std::mutex mutex_;  ///< intern path only
+  std::atomic<std::size_t> count_{0};
+  std::atomic<KernelSite*> chunks_[kMaxChunks] = {};
+};
+
+/// Helper for static per-call-site registration:
+///   static const KernelSite& site = SIMAS_SITE("advance_rho",
+///                                              SiteKind::ParallelLoop, 3);
+#define SIMAS_SITE(...)                  \
+  ::simas::par::SiteTable::process().intern( \
+      ::simas::par::make_site(__VA_ARGS__))
+
+KernelSite make_site(std::string name, SiteKind kind, int fusion_group = 0,
+                     bool calls_routine = false,
+                     bool uses_derived_type = false,
+                     bool async_capable = true, bool surface_scaled = false);
+
+}  // namespace simas::par

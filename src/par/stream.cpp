@@ -1,6 +1,6 @@
 #include "par/stream.hpp"
 
-#include "par/site_registry.hpp"
+#include "par/site_table.hpp"
 
 namespace simas::par {
 
@@ -52,7 +52,7 @@ bool same_signature(const StreamOp& a, const StreamOp& b) {
 }
 
 std::vector<KernelSite> stream_sites() {
-  return SiteRegistry::instance().all();
+  return SiteTable::process().all();
 }
 
 }  // namespace simas::par

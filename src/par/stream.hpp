@@ -10,9 +10,10 @@
 // launch-amortization technique that extends the paper's fusion/async
 // story (see bench/bench_ablation_graph.cpp).
 //
-// The KernelSite registry (par/site_registry.hpp) is the IR's symbol
-// table: ops reference sites by stable pointer, and the directive model in
-// src/variants reads its inventory from the same registry.
+// The interned site table (par/site_table.hpp) is the IR's symbol table:
+// ops reference sites by stable pointer (process-wide, shared by every
+// engine), and the directive model in src/variants reads its inventory
+// from the same table.
 
 #include <string>
 #include <variant>
@@ -124,6 +125,9 @@ struct GraphStats {
   i64 replays = 0;      ///< whole-graph launches issued
   i64 divergences = 0;  ///< live stream mismatched the capture
   i64 replayed_ops = 0; ///< kernel ops satisfied from a replayed graph
+  /// Graph scopes seeded from a cross-engine GraphCache (the engine
+  /// skipped its own capture pass and replayed from pass one).
+  i64 cache_seeds = 0;
   /// Per-graph launch overhead charged (one launch per replay).
   double graph_launch_seconds = 0.0;
   /// Per-kernel launch overhead *not* charged because the kernel ran
@@ -131,9 +135,9 @@ struct GraphStats {
   double kernel_launch_seconds_saved = 0.0;
 };
 
-/// Snapshot of every kernel site the IR knows about. The site registry is
-/// the IR's symbol table; the directive model (src/variants) derives its
-/// code inventory from this.
+/// Snapshot of every kernel site the IR knows about. The interned site
+/// table is the IR's symbol table; the directive model (src/variants)
+/// derives its code inventory from this.
 std::vector<KernelSite> stream_sites();
 
 }  // namespace simas::par

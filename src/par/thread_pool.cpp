@@ -21,157 +21,162 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::capture_error() noexcept {
+void ThreadPool::capture_error(Job& job) noexcept {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (error_ == nullptr) error_ = std::current_exception();
-  has_error_.store(true, std::memory_order_release);
+  if (job.error == nullptr) job.error = std::current_exception();
+  job.has_error.store(true, std::memory_order_release);
 }
 
-void ThreadPool::run_one(const FunctionRef<void(i64)>& fn, i64 block,
-                         i64 nblocks) {
+void ThreadPool::run_one(Job& job, i64 block) {
   try {
-    fn(block);
+    job.fn(block);
   } catch (...) {
     // Count the block done regardless so the job always completes; the
     // first exception is rethrown on the caller after the join.
-    capture_error();
+    capture_error(job);
   }
 #ifndef NDEBUG
-  blocks_executed_.fetch_add(1, std::memory_order_relaxed);
+  job.executed.fetch_add(1, std::memory_order_relaxed);
 #endif
-  // seq_cst on the done-counter and the caller_waiting_ flag closes the
+  // seq_cst on the done-counter and the caller_waiting flag closes the
   // store-buffer race between "worker: count done, then check if the
   // caller sleeps" and "caller: announce sleep, then check the count":
   // at least one side must see the other, so the last block's completion
   // is never missed. (The RMW chain also publishes every block's writes
   // to the caller's final load.)
-  if (blocks_done_.fetch_add(1, std::memory_order_seq_cst) + 1 == nblocks) {
-    if (caller_waiting_.load(std::memory_order_seq_cst)) {
-      // Empty critical section: the caller sets caller_waiting_ under the
+  if (job.done.fetch_add(1, std::memory_order_seq_cst) + 1 == job.nblocks) {
+    if (job.caller_waiting.load(std::memory_order_seq_cst)) {
+      // Empty critical section: the caller sets caller_waiting under the
       // mutex before sleeping, so this cannot interleave between its
       // final predicate check and the sleep. The flag keeps this mutex
-      // touch off the no-straggler fast path; the publisher never holds
-      // the mutex for long (it releases between claimers-fence checks),
-      // so this lock is always promptly available.
+      // touch off the no-straggler fast path. cv_done_ is shared by all
+      // sleeping callers, so notify_all + per-job predicate.
       { std::lock_guard<std::mutex> lock(mutex_); }
       cv_done_.notify_all();
     }
   }
 }
 
+void ThreadPool::unlink(Job* job) {
+  const auto it = std::find(active_.begin(), active_.end(), job);
+  if (it != active_.end()) active_.erase(it);
+}
+
 void ThreadPool::run_blocks(i64 nblocks, FunctionRef<void(i64)> fn) {
   if (nblocks <= 0) return;
   if (nthreads_ == 1 || nblocks == 1) {
     // Inline path: no shared state touched, exceptions propagate directly.
+    // Re-entrant trivially (each caller loops over its own blocks).
     for (i64 b = 0; b < nblocks; ++b) fn(b);
     return;
   }
 
-  // Publish the job, generation-fenced: the slot may only be rewritten
-  // once no worker is still inside the claim loop of a previous
-  // generation (it could otherwise observe the slot mid-write, or apply
-  // the freshly reset cursor to the old job). Registering as a claimer
-  // requires the mutex, so publishing under the mutex with claimers_ == 0
-  // excludes both existing and new claimers. The mutex is *released*
-  // between checks: a straggler may still want it for a completion
-  // notify, so holding it while spinning could deadlock.
-  for (;;) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (claimers_.load(std::memory_order_acquire) == 0) {
-      job_ = fn;
-      nblocks_ = nblocks;
-      next_block_.store(0, std::memory_order_relaxed);
-      blocks_done_.store(0, std::memory_order_relaxed);
-#ifndef NDEBUG
-      blocks_executed_.store(0, std::memory_order_relaxed);
-#endif
-      generation_.fetch_add(1, std::memory_order_release);
-      break;
-    }
-    lock.unlock();
-    std::this_thread::yield();
+  Job job;
+  job.fn = fn;
+  job.nblocks = nblocks;
+
+  // Publish: link the stack job into the active list. Workers only learn
+  // about a job under the mutex, so a worker that misses this publish
+  // simply never touches the job; the caller needs no worker to finish.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_.push_back(&job);
   }
   // Cascading wake: rouse one worker; each woken worker wakes the next
   // only while unclaimed blocks remain (see worker_loop). For jobs the
   // caller drains by itself this avoids stampeding every parked worker
-  // through the mutex for nothing. A consumed-but-unneeded notify (the
-  // woken worker finds the cursor exhausted) is throughput-neutral: the
-  // caller never depends on workers for completion.
+  // through the mutex for nothing.
   cv_work_.notify_one();
 
-  // The calling thread participates as a worker for this job. Claiming a
-  // block is one atomic fetch-add, uncontended in the common case.
+  // The calling thread participates as a worker for its own job. Claiming
+  // a block is one atomic fetch-add, uncontended in the common case.
   for (;;) {
-    const i64 b = next_block_.fetch_add(1, std::memory_order_relaxed);
+    const i64 b = job.next.fetch_add(1, std::memory_order_relaxed);
     if (b >= nblocks) break;
-    run_one(fn, b, nblocks);
+    run_one(job, b);
   }
 
   // Wait for stragglers: spin briefly (they are mid-block, typically
   // microseconds away), then sleep on the CV for the long tail.
-  if (blocks_done_.load(std::memory_order_seq_cst) != nblocks) {
+  if (job.done.load(std::memory_order_seq_cst) != nblocks) {
     for (int spin = 0; spin < 256; ++spin) {
       std::this_thread::yield();
-      if (blocks_done_.load(std::memory_order_seq_cst) == nblocks) break;
+      if (job.done.load(std::memory_order_seq_cst) == nblocks) break;
     }
-    if (blocks_done_.load(std::memory_order_seq_cst) != nblocks) {
+    if (job.done.load(std::memory_order_seq_cst) != nblocks) {
       std::unique_lock<std::mutex> lock(mutex_);
-      caller_waiting_.store(true, std::memory_order_seq_cst);
+      job.caller_waiting.store(true, std::memory_order_seq_cst);
       cv_done_.wait(lock, [&] {
-        return blocks_done_.load(std::memory_order_seq_cst) == nblocks;
+        return job.done.load(std::memory_order_seq_cst) == nblocks;
       });
-      caller_waiting_.store(false, std::memory_order_seq_cst);
+      job.caller_waiting.store(false, std::memory_order_seq_cst);
     }
   }
 #ifndef NDEBUG
-  assert(blocks_executed_.load(std::memory_order_relaxed) == nblocks &&
+  assert(job.executed.load(std::memory_order_relaxed) == nblocks &&
          "every block must execute exactly once per job");
 #endif
 
-  // Job teardown: blocks_done_ == nblocks guarantees no invocation is in
-  // flight; the claimers fence at the next publish guarantees the job
-  // slot is not overwritten while a late-waking worker could still read
-  // it. The borrowed callable may be destroyed as soon as we return.
-  if (has_error_.load(std::memory_order_acquire)) {
+  // Teardown: unlink so no *new* worker can register, then drain the
+  // claimers that did. A claimer is registered under the mutex while the
+  // job is linked and deregisters after leaving the claim loop, so after
+  // unlink + claimers == 0 no thread can touch the job again and the
+  // stack frame (and the borrowed callable) may be destroyed.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    unlink(&job);
+  }
+  while (job.claimers.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
+
+  if (job.has_error.load(std::memory_order_acquire)) {
     std::exception_ptr e;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      e = error_;
-      error_ = nullptr;
-      has_error_.store(false, std::memory_order_relaxed);
+      e = job.error;
     }
     std::rethrow_exception(e);
   }
 }
 
 void ThreadPool::worker_loop() {
-  u64 seen_generation = 0;
   for (;;) {
+    Job* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_work_.wait(lock, [&] {
-        return stop_ ||
-               generation_.load(std::memory_order_acquire) != seen_generation;
-      });
+      cv_work_.wait(lock, [&] { return stop_ || !active_.empty(); });
       if (stop_) return;
-      seen_generation = generation_.load(std::memory_order_relaxed);
-      // Register as a claimer *under the mutex*: the publisher writes the
-      // job slot while holding it, so once registered we read a fully
-      // published job (or, having woken late, a stale-but-complete one
-      // whose cursor is already exhausted — harmless: never invoked).
-      claimers_.fetch_add(1, std::memory_order_acq_rel);
+      // Front-of-list scan: prune exhausted jobs (their callers unlink
+      // them too, so this is belt-and-braces against a caller still
+      // spinning), pick the first with unclaimed blocks. Pruning inside
+      // the predicate's critical section keeps the wait from busy-looping
+      // on a list of exhausted jobs.
+      while (!active_.empty()) {
+        Job* front = active_.front();
+        if (front->next.load(std::memory_order_relaxed) >= front->nblocks) {
+          active_.erase(active_.begin());
+          continue;
+        }
+        job = front;
+        break;
+      }
+      if (job == nullptr) continue;  // list emptied: back to the wait
+      // Register as a claimer *under the mutex*, while the job is still
+      // linked: the job's caller unlinks under the mutex and then waits
+      // for claimers to drain, so a registered claim holds the stack
+      // frame alive until we deregister below.
+      job->claimers.fetch_add(1, std::memory_order_acq_rel);
     }
-    const FunctionRef<void(i64)> fn = job_;
-    const i64 nblocks = nblocks_;
-    // Continue the wake cascade while there is still unclaimed work.
-    if (next_block_.load(std::memory_order_relaxed) < nblocks)
+    // Continue the wake cascade while there is still unclaimed work
+    // (this job's, or another queued job's — the woken worker re-scans).
+    if (job->next.load(std::memory_order_relaxed) < job->nblocks)
       cv_work_.notify_one();
     for (;;) {
-      const i64 b = next_block_.fetch_add(1, std::memory_order_relaxed);
-      if (b >= nblocks) break;  // exhausted (or stale job): never invoke
-      run_one(fn, b, nblocks);
+      const i64 b = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= job->nblocks) break;  // exhausted: never invoke
+      run_one(*job, b);
     }
-    claimers_.fetch_sub(1, std::memory_order_release);
+    job->claimers.fetch_sub(1, std::memory_order_release);
   }
 }
 

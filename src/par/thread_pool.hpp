@@ -4,25 +4,29 @@
 // Engine), independent of the thread count, so reductions built on top
 // stay deterministic; the pool only decides which thread runs which block.
 //
+// Re-entrant: run_blocks() may be called from any number of threads
+// concurrently (N engines sharing one pool — the service layer's shared
+// host-thread substrate). Each call owns a stack-allocated Job; the pool
+// keeps a short list of jobs with unclaimed blocks. The caller always
+// drains its own job, so forward progress never depends on a worker being
+// free: with every worker busy elsewhere a job simply runs inline on its
+// caller.
+//
 // Hot-path protocol (no mutex, no allocation):
-//  * block claiming  — one atomic fetch-add on a shared cursor per block;
-//  * completion      — one atomic fetch-add on a done-counter per block;
+//  * block claiming  — one atomic fetch-add on the job's cursor per block;
+//  * completion      — one atomic fetch-add on the job's done-counter;
 //    the caller spins briefly on the counter, then sleeps on a CV.
 // The mutex + condition variables are used only at job *boundaries*: to
-// publish a new job to sleeping workers and to sleep while waiting for
+// publish a job to sleeping workers and to sleep while waiting for
 // stragglers. Job handoff is a FunctionRef (two raw pointers) instead of
 // a std::function, so launching a job never heap-allocates.
 //
-// Teardown is generation-fenced: a new job is published only under the
-// mutex *and* only once `claimers_ == 0`, i.e. no worker is still inside
-// the claim loop of the previous generation. A worker that wakes late
-// (after the job it was notified for has completed) registers as a
-// claimer, finds the cursor exhausted, and goes back to sleep without
-// ever invoking the stale callable — by the time run_blocks() returns,
-// blocks_done_ == nblocks guarantees no invocation is in flight, and the
-// claimers fence guarantees the job slot is not republished while any
-// late reader could still observe it. In debug builds the pool asserts
-// every block of a job executed exactly once.
+// Lifetime: a Job lives on its caller's stack. The caller unlinks it from
+// the active list under the mutex (so no *new* worker can reach it) and
+// then waits for the job's claimer count to drain before returning — a
+// worker holds a claim from registration (under the mutex) until it leaves
+// the job's claim loop. In debug builds the pool asserts every block of a
+// job executed exactly once.
 //
 // Exceptions thrown by a block are captured (first one wins), the block
 // is still counted as done so the job cannot deadlock, and the exception
@@ -54,50 +58,51 @@ class ThreadPool {
   /// Run fn(block_index) for block_index in [0, nblocks); blocks are
   /// distributed over the workers; blocks are executed exactly once.
   /// Blocking: returns when all blocks are done. The callable is borrowed
-  /// for the duration of the call only.
+  /// for the duration of the call only. Safe to call from multiple
+  /// threads concurrently; each call is an independent job.
   void run_blocks(i64 nblocks, FunctionRef<void(i64)> fn);
 
  private:
+  /// One in-flight run_blocks() call, stack-allocated by the caller.
+  struct Job {
+    FunctionRef<void(i64)> fn;
+    i64 nblocks = 0;
+    // Claim cursor and done counter on separate cache lines: different
+    // threads hammer them in different phases.
+    alignas(64) std::atomic<i64> next{0};
+    alignas(64) std::atomic<i64> done{0};
+    /// Workers inside (or entering) this job's claim loop. The caller
+    /// drains this to zero (after unlinking) before the Job leaves scope.
+    std::atomic<int> claimers{0};
+    /// True only while the caller sleeps in cv_done_; workers skip the
+    /// mutex/notify entirely otherwise.
+    std::atomic<bool> caller_waiting{false};
+    // Error capture (cold path; error guarded by the pool mutex).
+    std::atomic<bool> has_error{false};
+    std::exception_ptr error;
+#ifndef NDEBUG
+    std::atomic<i64> executed{0};  ///< exactly-once debug accounting
+#endif
+  };
+
   void worker_loop();
   /// Execute one claimed block: invoke, capture a thrown exception, count
-  /// the block done, and wake the caller if it was the last one.
-  void run_one(const FunctionRef<void(i64)>& fn, i64 block, i64 nblocks);
-  void capture_error() noexcept;
+  /// the block done, and wake the job's caller if it was the last one.
+  void run_one(Job& job, i64 block);
+  void capture_error(Job& job) noexcept;
+  /// Remove `job` from active_ if still linked (caller side; under lock).
+  void unlink(Job* job);
 
   int nthreads_;
   std::vector<std::thread> workers_;
 
-  // --- Job slot. Written by the publisher only while holding mutex_ with
-  // claimers_ == 0; read by workers only after registering in claimers_
-  // (under mutex_), which orders the reads after the publication.
-  FunctionRef<void(i64)> job_;
-  i64 nblocks_ = 0;
-
-  // --- Hot-path state (one cache line each to avoid false sharing
-  // between the claim cursor and the completion counter).
-  alignas(64) std::atomic<i64> next_block_{0};
-  alignas(64) std::atomic<i64> blocks_done_{0};
-
-  // --- Job-boundary signalling only.
+  // --- Job-boundary signalling only. active_ holds jobs that may still
+  // have unclaimed blocks; exhausted jobs are pruned by whoever notices.
   std::mutex mutex_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
-  std::atomic<u64> generation_{0};
-  /// Workers currently inside (or entering) the claim loop. The publisher
-  /// spins to zero before reusing the job slot (generation fence).
-  std::atomic<int> claimers_{0};
-  /// True only while the caller sleeps in cv_done_.wait; workers skip the
-  /// mutex/notify entirely otherwise (see run_one).
-  std::atomic<bool> caller_waiting_{false};
-  bool stop_ = false;  // written under mutex_, read under mutex_ in waits
-
-  // --- Error capture (cold path; guarded by mutex_).
-  std::atomic<bool> has_error_{false};
-  std::exception_ptr error_;
-
-#ifndef NDEBUG
-  std::atomic<i64> blocks_executed_{0};  ///< exactly-once debug accounting
-#endif
+  std::vector<Job*> active_;  ///< guarded by mutex_
+  bool stop_ = false;         // written under mutex_, read in waits
 };
 
 }  // namespace simas::par

@@ -1,0 +1,55 @@
+#include "service/admission_queue.hpp"
+
+#include <utility>
+
+namespace simas::service {
+
+bool AdmissionQueue::try_push(Entry e) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    if (entries_.size() >= capacity_) {
+      stats_.rejected++;
+      return false;
+    }
+    entries_.push_back(std::move(e));
+    stats_.accepted++;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<AdmissionQueue::Entry> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || !entries_.empty(); });
+  if (entries_.empty()) return std::nullopt;  // closed and drained
+  Entry e = std::move(entries_.front());
+  entries_.pop_front();
+  stats_.popped++;
+  return e;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+AdmissionQueue::Stats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace simas::service

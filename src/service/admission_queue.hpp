@@ -1,0 +1,65 @@
+#pragma once
+// Bounded admission queue: the job server's intake with backpressure.
+//
+// Submission is non-blocking — a full (or closed) queue rejects the job
+// immediately and the caller decides what to do (the bench counts rejects;
+// a real client would retry with backoff). Worker pop() blocks until a job
+// arrives, the queue closes, or the server un-pauses intake. Closing is
+// one-way: pending entries still drain, new pushes are refused.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "service/job.hpp"
+#include "util/types.hpp"
+
+namespace simas::service {
+
+class AdmissionQueue {
+ public:
+  /// A queued job plus its submission timestamp (seconds on the server's
+  /// epoch clock) so latency accounting starts at submit, not at pickup.
+  struct Entry {
+    JobDescription desc;
+    double submitted_at = 0.0;
+  };
+
+  struct Stats {
+    i64 accepted = 0;
+    i64 rejected = 0;  ///< refused for capacity (not for closure)
+    i64 popped = 0;
+  };
+
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking submit. False when the queue is at capacity (counted as
+  /// a rejection — backpressure) or closed (not counted; the server is
+  /// shutting down, there is no pressure to signal).
+  bool try_push(Entry e);
+
+  /// Blocking take. Empty optional means the queue is closed *and*
+  /// drained — the worker should exit.
+  std::optional<Entry> pop();
+
+  /// Stop accepting new entries; wake all blocked pop() calls once the
+  /// backlog drains.
+  void close();
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const;
+  Stats stats() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Entry> entries_;
+  Stats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace simas::service

@@ -1,0 +1,41 @@
+#pragma once
+// Job-server vocabulary types: what a client submits (a JobDescription
+// wrapping an ExperimentConfig) and what it gets back (a JobResult with
+// the full ExperimentResult plus serving-side timing and cache
+// provenance). Plain data — all queueing/locking lives in
+// service/admission_queue.hpp and service/job_server.hpp.
+
+#include <string>
+
+#include "bench_support/run_experiment.hpp"
+#include "util/types.hpp"
+
+namespace simas::service {
+
+/// One requested simulation run. `config` is copied at submit time; the
+/// server fills in its own SimContext / shared pool / cache hooks, so
+/// clients describe *what* to run, never *how* it is scheduled.
+struct JobDescription {
+  i64 id = 0;          ///< client-chosen; echoed in the JobResult
+  std::string name;    ///< label for logs/metrics (optional)
+  bench_support::ExperimentConfig config;
+};
+
+struct JobResult {
+  i64 id = 0;
+  std::string name;
+  bool ok = false;
+  std::string error;  ///< exception text when !ok
+  bench_support::ExperimentResult result;
+
+  // Serving-side wall-clock timing (host seconds, not modeled time).
+  double queue_seconds = 0.0;    ///< submit -> worker pickup
+  double run_seconds = 0.0;      ///< worker pickup -> completion
+  double latency_seconds = 0.0;  ///< submit -> completion
+
+  // Cache provenance.
+  bool field_cache_used = false;  ///< boundary enabled + cache consulted
+  bool field_cache_hit = false;   ///< PFSS solve skipped via injection
+};
+
+}  // namespace simas::service

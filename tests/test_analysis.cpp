@@ -16,7 +16,8 @@
 #include "mpisim/decomposition.hpp"
 #include "mpisim/halo.hpp"
 #include "par/engine.hpp"
-#include "par/site_registry.hpp"
+#include "par/env_config.hpp"
+#include "par/site_table.hpp"
 #include "variants/code_version.hpp"
 
 namespace simas {
@@ -535,26 +536,24 @@ TEST(Compose, ValidatorSeesReplayedOpsUnderGraphCapture) {
   scrub(eng, {&f});
 }
 
-TEST(SiteRegistryChecks, RejectsInvalidAndConflictingRegistrations) {
-  auto& reg = par::SiteRegistry::instance();
-  EXPECT_THROW(reg.register_site(par::make_site("", SiteKind::ParallelLoop)),
+TEST(SiteTableChecks, RejectsInvalidAndConflictingRegistrations) {
+  auto& tab = par::SiteTable::process();
+  EXPECT_THROW(tab.intern(par::make_site("", SiteKind::ParallelLoop)),
                std::invalid_argument);
-  EXPECT_THROW(reg.register_site(
+  EXPECT_THROW(tab.intern(
                    par::make_site("an_reg_neg", SiteKind::ParallelLoop, -1)),
                std::invalid_argument);
   const par::KernelSite& first =
-      reg.register_site(par::make_site("an_reg_dup", SiteKind::ParallelLoop,
-                                       3));
-  // Identical re-registration returns the same site...
+      tab.intern(par::make_site("an_reg_dup", SiteKind::ParallelLoop, 3));
+  // Identical re-interning returns the same site...
   const par::KernelSite& again =
-      reg.register_site(par::make_site("an_reg_dup", SiteKind::ParallelLoop,
-                                       3));
+      tab.intern(par::make_site("an_reg_dup", SiteKind::ParallelLoop, 3));
   EXPECT_EQ(&first, &again);
   // ...but the same name with different properties is a duplicate-name bug.
-  EXPECT_THROW(reg.register_site(par::make_site(
+  EXPECT_THROW(tab.intern(par::make_site(
                    "an_reg_dup", SiteKind::ParallelLoop, 4)),
                std::logic_error);
-  EXPECT_THROW(reg.register_site(par::make_site(
+  EXPECT_THROW(tab.intern(par::make_site(
                    "an_reg_dup", SiteKind::ScalarReduction, 3)),
                std::logic_error);
 }
@@ -590,7 +589,7 @@ TEST(Report, FoldsRepeatsAndDrainsOnTake) {
 }
 
 TEST(Report, ValidationOffYieldsEmptyReportAndNoShadow) {
-  if (std::getenv("SIMAS_VALIDATE") != nullptr)
+  if (par::EnvConfig::process().validate)
     GTEST_SKIP() << "SIMAS_VALIDATE forces the validator on";
   par::EngineConfig cfg;  // validate = false
   cfg.host_threads = 1;

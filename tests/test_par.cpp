@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "par/engine.hpp"
-#include "par/site_registry.hpp"
+#include "par/site_table.hpp"
 #include "par/thread_pool.hpp"
 
 // Counting global allocator for this test binary: the steady-state kernel
@@ -127,21 +127,21 @@ TEST(ThreadPool, ExceptionOnInlinePathPropagates) {
                std::runtime_error);
 }
 
-TEST(SiteRegistry, DeduplicatesByName) {
+TEST(SiteTable, DeduplicatesByName) {
   const auto& a = SIMAS_SITE("test_site_dedupe", SiteKind::ParallelLoop, 1);
   const auto& b = SIMAS_SITE("test_site_dedupe", SiteKind::ParallelLoop, 1);
   EXPECT_EQ(&a, &b);
   EXPECT_GE(a.id, 0);
 }
 
-TEST(SiteRegistry, ReferencesStableAcrossGrowth) {
+TEST(SiteTable, ReferencesStableAcrossGrowth) {
   const auto& first = SIMAS_SITE("test_site_stable", SiteKind::ParallelLoop, 0);
   const std::string name_before = first.name;
   for (int i = 0; i < 200; ++i) {
-    SiteRegistry::instance().register_site(make_site(
+    SiteTable::process().intern(make_site(
         "test_site_growth_" + std::to_string(i), SiteKind::ParallelLoop));
   }
-  EXPECT_EQ(first.name, name_before);  // deque storage: no invalidation
+  EXPECT_EQ(first.name, name_before);  // chunked storage: no invalidation
 }
 
 EngineConfig gpu_config(LoopModel loops, gpusim::MemoryMode mem) {

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "par/engine.hpp"
-#include "par/site_registry.hpp"
+#include "par/site_table.hpp"
 
 namespace simas::par {
 namespace {

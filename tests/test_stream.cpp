@@ -8,7 +8,7 @@
 #include <string>
 
 #include "par/engine.hpp"
-#include "par/site_registry.hpp"
+#include "par/site_table.hpp"
 
 namespace simas::par {
 namespace {
@@ -26,7 +26,7 @@ EngineConfig graph_config(LoopModel loops = LoopModel::Dc2018,
 
 const KernelSite& stream_site(const char* name,
                               SiteKind kind = SiteKind::ParallelLoop) {
-  return SiteRegistry::instance().register_site(make_site(name, kind));
+  return SiteTable::process().intern(make_site(name, kind));
 }
 
 TEST(StreamIr, OpKindHelpers) {
@@ -106,7 +106,7 @@ TEST(StreamIr, CapturedGraphLifecycle) {
 TEST(StreamIr, SiteInventoryComesFromRegistry) {
   stream_site("stream_inventory_probe");
   const auto sites = stream_sites();
-  EXPECT_EQ(sites.size(), SiteRegistry::instance().size());
+  EXPECT_EQ(sites.size(), SiteTable::process().size());
   bool found = false;
   for (const auto& s : sites) found |= (s.name == "stream_inventory_probe");
   EXPECT_TRUE(found);

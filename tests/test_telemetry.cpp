@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "par/engine.hpp"
-#include "par/site_registry.hpp"
+#include "par/site_table.hpp"
 #include "telemetry/engine_metrics.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/perf_compare.hpp"
