@@ -55,6 +55,7 @@ std::string Diagnostic::to_string() const {
   std::ostringstream ss;
   ss << severity_name(severity) << ": [" << check_name(check) << "] site '"
      << site << "'";
+  if (!location.empty()) ss << " (" << location << ")";
   if (!array.empty()) ss << ", array '" << array << "'";
   ss << " (op " << op_index;
   if (count > 1) ss << ", x" << count;

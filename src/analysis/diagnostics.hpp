@@ -59,6 +59,9 @@ struct Diagnostic {
   Severity severity = Severity::Error;
   std::string site;
   std::string array;
+  /// Source provenance ("file:line") of the registering kernel site, when
+  /// the emitting pass had the interned KernelSite at hand ("" otherwise).
+  std::string location;
   i64 op_index = 0;
   i64 count = 1;  ///< occurrences folded into this entry
   std::string message;

@@ -79,7 +79,8 @@ Validator::ArrayState& Validator::state_for(gpusim::ArrayId id) {
 }
 
 void Validator::diagnose(Check check, const std::string& site,
-                         const std::string& array, std::string message) {
+                         const std::string& array, std::string message,
+                         std::string location) {
   std::lock_guard<std::mutex> lock(diag_mutex_);
   std::string key = std::string(check_name(check)) + '|' + site + '|' + array;
   const auto it = diag_index_.find(key);
@@ -92,6 +93,7 @@ void Validator::diagnose(Check check, const std::string& site,
   d.severity = check_severity(check);
   d.site = site;
   d.array = array;
+  d.location = std::move(location);
   d.op_index = op_index_;
   d.message = std::move(message);
   diag_index_.emplace(std::move(key), diagnostics_.size());
@@ -146,7 +148,8 @@ void Validator::on_op(const par::StreamOp& op) {
                "reduction result is consumed on the host immediately, but "
                "the site is declared async-capable: under async launches "
                "the host would read the result before the kernel finished; "
-               "mark the site async_capable=false or device_sync first");
+               "mark the site async_capable=false or device_sync first",
+               ko.site->location());
     }
     drain_async_queue();
   }
@@ -161,7 +164,8 @@ void Validator::on_op(const par::StreamOp& op) {
         diagnose(Check::KernelOutsideRegion, ko.site->name, st.name,
                  "kernel accesses an array outside any data region: the "
                  "compiler would add an implicit per-kernel copy (correct "
-                 "but slow) — wrap it in enter_data/exit_data");
+                 "but slow) — wrap it in enter_data/exit_data",
+                 ko.site->location());
         continue;
       }
       if (a.write) {
@@ -171,7 +175,8 @@ void Validator::on_op(const par::StreamOp& op) {
         diagnose(Check::StaleDeviceRead, ko.site->name, st.name,
                  "device kernel reads an array whose host copy was "
                  "modified after the last update_device: the device sees "
-                 "stale data");
+                 "stale data",
+                 ko.site->location());
       }
     }
   }
@@ -195,6 +200,7 @@ void Validator::body_begin() {
   // every other (owner, window) pair.
   ++window_seq_;
   current_site_ = pending_.site->name;
+  current_location_ = pending_.site->location();
   const u64 chain_tag =
       ((chain_id_ & 0xffffffu) << 40) | ((op_slot_ & 0xffu) << 32);
   for (auto& [id, st] : arrays_) {
@@ -284,12 +290,14 @@ void Validator::report_conflict(const ShadowSlot& slot, u64 prev_tag,
     diagnose(Check::DuplicateWrite, current_site_, array,
              "two iterations of one parallel loop wrote the same element: "
              "the loop is not legal `do concurrent` (unordered iterations "
-             "race on the element)");
+             "race on the element)",
+             current_location_);
   } else {
     diagnose(Check::FusedConflict, current_site_, array,
              "element written by an earlier kernel of the same ACC fusion "
              "group is touched again by this kernel: fusing them into one "
-             "launch introduces a race");
+             "launch introduces a race",
+             current_location_);
   }
 }
 
@@ -301,7 +309,8 @@ void Validator::report_inflight(const ShadowSlot& slot) {
            "kernel touches a radial ghost plane whose nonblocking halo "
            "exchange is still in flight: the unpack has not run, so the "
            "value read races with the unfinished recv — finish the "
-           "exchange first, or restrict the kernel to the interior");
+           "exchange first, or restrict the kernel to the interior",
+           current_location_);
 }
 
 void Validator::begin_inflight_recv(gpusim::ArrayId id,

@@ -110,7 +110,8 @@ class Validator final : public gpusim::MemoryObserver {
 
   ArrayState& state_for(gpusim::ArrayId id);
   void diagnose(Check check, const std::string& site,
-                const std::string& array, std::string message);
+                const std::string& array, std::string message,
+                std::string location = {});
   void drain_async_queue();
   /// Conflict sink for ShadowSlot::note_element (runs on pool threads).
   void report_conflict(const ShadowSlot& slot, u64 prev_tag, u64 new_tag);
@@ -144,7 +145,8 @@ class Validator final : public gpusim::MemoryObserver {
   PendingKernel pending_;
   bool armed_ = false;
   u64 window_seq_ = 0;  ///< armed-window sequence (see current_window())
-  std::string current_site_;  ///< site name during body execution
+  std::string current_site_;      ///< site name during body execution
+  std::string current_location_;  ///< its registering file:line
 
   i64 op_index_ = 0;
 

@@ -186,6 +186,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   ExperimentResult result;
   result.ranks.resize(static_cast<std::size_t>(cfg.nranks));
+  if (cfg.capture_stream)
+    result.static_reports.resize(static_cast<std::size_t>(cfg.nranks));
   if (cfg.capture_trace)
     result.rank_traces.resize(static_cast<std::size_t>(cfg.nranks));
   if (cfg.boundary_out != nullptr) {
@@ -202,12 +204,22 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
         variants::engine_config(cfg.version, cfg.device, rank_threads);
     ecfg.graph_replay = cfg.graph_replay;
     ecfg.validate = cfg.validate;
+    ecfg.capture_stream = cfg.capture_stream;
+    ecfg.certify = cfg.certify;
     ecfg.overlap_halo = cfg.overlap_halo;
     ecfg.ctx = &ctx;
     ecfg.shared_pool = cfg.shared_pool;
     ecfg.graph_cache = cfg.graph_cache;
-    if (cfg.graph_cache != nullptr)
+    if (cfg.graph_cache != nullptr) {
       ecfg.graph_cache_scope = shape + "/r" + std::to_string(rank);
+      // Certificates cover the WHOLE stream, and an injected-boundary run
+      // (field-cache hit) skips the PFSS solve a cold run performs — same
+      // graph scopes, different streams. Key the certificate by which
+      // stream this engine will actually execute.
+      ecfg.cert_scope = shape +
+                        (cfg.boundary_fields != nullptr ? "+inj" : "+solve") +
+                        "/r" + std::to_string(rank);
+    }
     par::Engine engine(ecfg);
     engine.cost().set_scales(vol_scale, surf_scale);
     engine.cost().set_working_set_shrink(static_cast<double>(cfg.nranks));
@@ -276,6 +288,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
     std::lock_guard<std::mutex> lock(result_mutex);
     result.ranks[static_cast<std::size_t>(rank)] = timing;
+    if (cfg.capture_stream)
+      result.static_reports[static_cast<std::size_t>(rank)] =
+          engine.static_verify();
     result.profile.merge_from(profile);
     if (cfg.capture_trace)
       result.rank_traces[static_cast<std::size_t>(rank)] = engine.tracer();

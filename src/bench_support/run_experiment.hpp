@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "bench_support/paper_scale.hpp"
 #include "gpusim/device_spec.hpp"
 #include "mhd/config.hpp"
@@ -91,6 +92,16 @@ struct ExperimentConfig {
   /// the compute clock (EngineConfig::overlap_halo). Physics is
   /// byte-identical; only the modeled MPI exposure changes.
   bool overlap_halo = false;
+  /// Record each rank's full event trace and run the static verifier over
+  /// it after the measured steps (EngineConfig::capture_stream). The
+  /// per-rank reports land in ExperimentResult::static_reports. No
+  /// kernels are shadowed; modeled time is unaffected.
+  bool capture_stream = false;
+  /// Verified-stream certificates (EngineConfig::certify): the first run
+  /// of a shape validates + captures and publishes a certificate into
+  /// `graph_cache`; later runs of the same shape skip runtime shadow
+  /// checks entirely (hash-only integrity). Requires graph_cache.
+  bool certify = false;
   /// Print the cross-rank hot-spot profile (top kernel sites by modeled
   /// time) after the run. Also forced by the SIMAS_PROFILE environment
   /// variable (via the context's EnvConfig snapshot); the merged profile
@@ -177,6 +188,9 @@ struct ExperimentResult {
   /// All-rank merged views (per-metric merge policy / matched by site).
   telemetry::MetricsSnapshot metrics;
   telemetry::SiteProfileSnapshot profile;
+  /// Per-rank static-verifier reports (ExperimentConfig::capture_stream;
+  /// empty otherwise). Indexed by rank.
+  std::vector<analysis::ValidationReport> static_reports;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg);

@@ -199,37 +199,45 @@ void advect_and_forces(MhdContext& c, real dt, int pending_center) {
   };
 
   // --- interior predictor launches (full range when not split) ----------
+  // Declared span of the centered-field reads: the ±1 radial stencil over
+  // the clipped interior range never reaches the in-flight ghost columns.
+  const par::Span cspan = interior_stencil_span(split, ilo, ihi, st.nloc);
   if (ihi > ilo) {
     c.eng.for_each(
         site_vr, interior,
-        {par::in(st.rho.id()), par::in(st.temp.id()), par::in(st.vr.id()),
-         par::in(st.vt.id()), par::in(st.vp.id()), par::in(st.jct.id()),
+        {par::in(st.rho.id(), cspan), par::in(st.temp.id(), cspan),
+         par::in(st.vr.id(), cspan), par::in(st.vt.id(), cspan),
+         par::in(st.vp.id(), cspan), par::in(st.jct.id()),
          par::in(st.jcp.id()), par::in(st.bct.id()), par::in(st.bcp.id()),
          par::out(st.wrk1.id())},
         vr_body);
     c.eng.for_each(
         site_vt, interior,
-        {par::in(st.rho.id()), par::in(st.temp.id()), par::in(st.vr.id()),
-         par::in(st.vt.id()), par::in(st.vp.id()), par::in(st.jcr.id()),
+        {par::in(st.rho.id(), cspan), par::in(st.temp.id(), cspan),
+         par::in(st.vr.id(), cspan), par::in(st.vt.id(), cspan),
+         par::in(st.vp.id(), cspan), par::in(st.jcr.id()),
          par::in(st.jcp.id()), par::in(st.bcr.id()), par::in(st.bcp.id()),
          par::out(st.wrk2.id())},
         vt_body);
     c.eng.for_each(
         site_vp, interior,
-        {par::in(st.rho.id()), par::in(st.temp.id()), par::in(st.vr.id()),
-         par::in(st.vt.id()), par::in(st.vp.id()), par::in(st.jcr.id()),
+        {par::in(st.rho.id(), cspan), par::in(st.temp.id(), cspan),
+         par::in(st.vr.id(), cspan), par::in(st.vt.id(), cspan),
+         par::in(st.vp.id(), cspan), par::in(st.jcr.id()),
          par::in(st.jct.id()), par::in(st.bcr.id()), par::in(st.bct.id()),
          par::out(st.wrk3.id())},
         vp_body);
     c.eng.for_each(
         site_rho, interior,
-        {par::in(st.rho.id()), par::in(st.vr.id()), par::in(st.vt.id()),
-         par::in(st.vp.id()), par::out(st.wrk4.id())},
+        {par::in(st.rho.id(), cspan), par::in(st.vr.id(), cspan),
+         par::in(st.vt.id(), cspan), par::in(st.vp.id(), cspan),
+         par::out(st.wrk4.id())},
         rho_body);
     c.eng.for_each(
         site_t, interior,
-        {par::in(st.temp.id()), par::in(st.vr.id()), par::in(st.vt.id()),
-         par::in(st.vp.id()), par::out(st.wrk5.id())},
+        {par::in(st.temp.id(), cspan), par::in(st.vr.id(), cspan),
+         par::in(st.vt.id(), cspan), par::in(st.vp.id(), cspan),
+         par::out(st.wrk5.id())},
         temp_body);
   }
 

@@ -13,8 +13,10 @@ void theta_wall_ghosts(MhdContext& c, field::Field& f, real sign) {
       SIMAS_SITE("bc_theta_wall_center", SiteKind::ParallelLoop, 11,
                  false, false, true, /*surface_scaled=*/true);
   const idx n1 = f.a().n1(), nt = f.a().n2(), np = f.a().n3();
+  // Reads/writes radially owned columns only (θ ghosts live inside them).
   c.eng.for_each(site, par::Range3{0, n1, 0, np, 0, 1},
-                 {par::in(f.id()), par::out(f.id())},
+                 {par::in(f.id(), par::Span::Interior),
+                  par::out(f.id(), par::Span::Interior)},
                  [&, sign, nt](idx i, idx k, idx) {
                    f(i, -1, k) = sign * f(i, 0, k);
                    f(i, nt, k) = sign * f(i, nt - 1, k);
@@ -45,10 +47,16 @@ void apply_center_bcs(MhdContext& c) {
     field::Field& vr = st.vr;
     field::Field& vt = st.vt;
     field::Field& vp = st.vp;
+    // Writes the low radial ghost from the first owned plane; at the inner
+    // wall that ghost has no neighbour, so it is never in flight.
     c.eng.for_each(site, par::Range3{0, nt, 0, np, 0, 1},
-                   {par::in(rho.id()), par::out(rho.id()),
-                    par::in(temp.id()), par::out(temp.id()),
-                    par::out(vr.id()), par::out(vt.id()), par::out(vp.id())},
+                   {par::in(rho.id(), par::Span::Interior),
+                    par::out(rho.id(), par::Span::GhostLo),
+                    par::in(temp.id(), par::Span::Interior),
+                    par::out(temp.id(), par::Span::GhostLo),
+                    par::out(vr.id(), par::Span::GhostLo),
+                    par::out(vt.id(), par::Span::GhostLo),
+                    par::out(vp.id(), par::Span::GhostLo)},
                    [&](idx j, idx k, idx) {
                      // Face value = 1 (base atmosphere) for ρ and T.
                      rho(-1, j, k) = 2.0 - rho(0, j, k);
@@ -69,11 +77,17 @@ void apply_center_bcs(MhdContext& c) {
     field::Field& vr = st.vr;
     field::Field& vt = st.vt;
     field::Field& vp = st.vp;
+    // Writes the high radial ghost from the last owned plane; at the outer
+    // wall that ghost has no neighbour, so it is never in flight.
     c.eng.for_each(site, par::Range3{0, nt, 0, np, 0, 1},
-                   {par::in(rho.id()), par::out(rho.id()),
-                    par::in(temp.id()), par::out(temp.id()),
-                    par::in(vr.id()), par::out(vr.id()), par::out(vt.id()),
-                    par::out(vp.id())},
+                   {par::in(rho.id(), par::Span::Interior),
+                    par::out(rho.id(), par::Span::GhostHi),
+                    par::in(temp.id(), par::Span::Interior),
+                    par::out(temp.id(), par::Span::GhostHi),
+                    par::in(vr.id(), par::Span::Interior),
+                    par::out(vr.id(), par::Span::GhostHi),
+                    par::out(vt.id(), par::Span::GhostHi),
+                    par::out(vp.id(), par::Span::GhostHi)},
                    [&, nloc](idx j, idx k, idx) {
                      rho(nloc, j, k) = rho(nloc - 1, j, k);
                      temp(nloc, j, k) = temp(nloc - 1, j, k);
@@ -164,9 +178,16 @@ void apply_b_ghosts(MhdContext& c) {
     field::Field& br = st.br;
     field::Field& bt = st.bt;
     field::Field& bp = st.bp;
+    // θ ghosts of radially owned columns only: br owns i ∈ [0, nloc]
+    // (face-dimensioned), bt/bp iterations are guarded to i < nloc — no
+    // radial ghost column is touched while the bt/bp halos are in flight.
     c.eng.for_each(site, par::Range3{0, nloc + 1, 0, np, 0, 1},
-                   {par::in(br.id()), par::out(br.id()), par::in(bt.id()),
-                    par::out(bt.id()), par::in(bp.id()), par::out(bp.id())},
+                   {par::in(br.id(), par::Span::Interior),
+                    par::out(br.id(), par::Span::Interior),
+                    par::in(bt.id(), par::Span::Interior),
+                    par::out(bt.id(), par::Span::Interior),
+                    par::in(bp.id(), par::Span::Interior),
+                    par::out(bp.id(), par::Span::Interior)},
                    [&, nloc, nt](idx i, idx k, idx) {
                      br(i, -1, k) = br(i, 0, k);
                      br(i, nt, k) = br(i, nt - 1, k);
@@ -189,9 +210,19 @@ void apply_b_ghosts(MhdContext& c) {
     field::Field& br = st.br;
     field::Field& bt = st.bt;
     field::Field& bp = st.bp;
+    // Writes only the physical-wall ghost columns this rank owns a wall
+    // for — those have no neighbour and are never in flight. Reads the
+    // adjacent owned planes.
+    const par::Span rspan = (inner && outer) ? par::Span::Full
+                            : inner          ? par::Span::GhostLo
+                                             : par::Span::GhostHi;
     c.eng.for_each(site, par::Range3{0, nt + 1, 0, np, 0, 1},
-                   {par::in(br.id()), par::out(br.id()), par::in(bt.id()),
-                    par::out(bt.id()), par::in(bp.id()), par::out(bp.id())},
+                   {par::in(br.id(), par::Span::Interior),
+                    par::out(br.id(), rspan),
+                    par::in(bt.id(), par::Span::Interior),
+                    par::out(bt.id(), rspan),
+                    par::in(bp.id(), par::Span::Interior),
+                    par::out(bp.id(), rspan)},
                    [&, nloc, inner, outer, nt](idx j, idx k, idx) {
                      if (inner) {
                        br(-1, j, k) = br(0, j, k);

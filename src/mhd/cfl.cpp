@@ -22,11 +22,18 @@ real cfl_timestep(MhdContext& c) {
                  /*calls_routine=*/false, /*uses_derived_type=*/false,
                  /*async_capable=*/false);
 
+  // Pointwise reads over the owned radial range only (no stencil): safe
+  // even while a radial halo exchange is in flight.
   const real local_max = c.eng.reduce_max(
       site, par::Range3{0, st.nloc, 0, st.nt, 0, st.np},
-      {par::in(st.rho.id()), par::in(st.temp.id()), par::in(st.vr.id()),
-       par::in(st.vt.id()), par::in(st.vp.id()), par::in(st.bcr.id()),
-       par::in(st.bct.id()), par::in(st.bcp.id())},
+      {par::in(st.rho.id(), par::Span::Interior),
+       par::in(st.temp.id(), par::Span::Interior),
+       par::in(st.vr.id(), par::Span::Interior),
+       par::in(st.vt.id(), par::Span::Interior),
+       par::in(st.vp.id(), par::Span::Interior),
+       par::in(st.bcr.id(), par::Span::Interior),
+       par::in(st.bct.id(), par::Span::Interior),
+       par::in(st.bcp.id(), par::Span::Interior)},
       [&](idx i, idx j, idx k) -> real {
         const real rho = std::max<real>(st.rho(i, j, k), 1.0e-12);
         const real cs2 = gamma * std::max<real>(st.temp(i, j, k), 0.0);

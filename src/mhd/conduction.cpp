@@ -118,9 +118,12 @@ int conduction_update(MhdContext& c, real dt) {
     const idx ilo = (split && !lg.at_inner_boundary()) ? 1 : 0;
     const idx ihi = (split && !lg.at_outer_boundary()) ? nloc - 1 : nloc;
     if (ihi > ilo) {
+      // Clipped-range stencil reads stay off x's in-flight ghost columns.
+      const par::Span xspan = interior_stencil_span(split, ilo, ihi, nloc);
       c.eng.for_each(
           site_mv, par::Range3{ilo, ihi, 0, nt, 0, np},
-          {par::in(x.id()), par::in(st.wrk2.id()), par::out(y.id())},
+          {par::in(x.id(), xspan), par::in(st.wrk2.id(), xspan),
+           par::out(y.id())},
           [&](idx i, idx j, idx k) { diff_cell(x, y, i, j, k); });
     }
     if (split) {

@@ -11,6 +11,7 @@
 #include "mhd/state.hpp"
 #include "mpisim/comm.hpp"
 #include "mpisim/halo.hpp"
+#include "par/stream.hpp"
 
 namespace simas::mhd {
 
@@ -45,6 +46,22 @@ bool overlap_active(const MhdContext& c);
 /// costs. Always false for unified memory — the staged exchange
 /// serializes with compute, so there is nothing to hide (Fig. 4).
 bool overlap_split_pays(const MhdContext& c, int nfields);
+/// Declared radial span of a stencil kernel's *reads* over radial range
+/// [ilo, ihi): the ±1 stencil reaches [ilo-1, ihi]. Under the
+/// interior/boundary split (`split`) the range is clipped away from
+/// in-flight halo columns, so the reads stay off them — Interior when both
+/// ends are clipped, GhostLo/GhostHi when the range abuts a physical wall
+/// (whose ghost has no neighbour and is never in flight). Without a split
+/// the reads cover the freshly exchanged ghosts: Full.
+inline par::Span interior_stencil_span(bool split, idx ilo, idx ihi,
+                                       idx nloc) {
+  if (!split) return par::Span::Full;
+  const bool lo = ilo == 0, hi = ihi == nloc;
+  if (lo && hi) return par::Span::Full;
+  if (lo) return par::Span::GhostLo;
+  if (hi) return par::Span::GhostHi;
+  return par::Span::Interior;
+}
 /// Overlapped exchange_center_ghosts: post the radial exchange of the
 /// centered fields, then fill every locally computable ghost (φ wrap,
 /// physical BCs) while the halos are in flight. Returns the pending

@@ -106,11 +106,13 @@ int viscous_update(MhdContext& c, real dt) {
     const idx ihi = (split && !lg.at_outer_boundary()) ? nloc - 1 : nloc;
     if (ihi > ilo) {
       const par::Range3 mv_range{ilo, ihi, 0, nt, 0, np};
+      // Clipped-range stencil reads stay off x's in-flight ghost columns.
+      const par::Span xspan = interior_stencil_span(split, ilo, ihi, nloc);
       for (std::size_t comp = 0; comp < x.size(); ++comp) {
         field::Field& xf = *x[comp];
         field::Field& yf = *y[comp];
         c.eng.for_each(site_mv, mv_range,
-                       {par::in(xf.id()), par::out(yf.id())},
+                       {par::in(xf.id(), xspan), par::out(yf.id())},
                        [&](idx i, idx j, idx k) { mv_cell(xf, yf, i, j, k); });
       }
     }

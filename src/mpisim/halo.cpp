@@ -4,7 +4,6 @@
 #include <stdexcept>
 #include <string>
 
-#include "analysis/validator.hpp"
 
 namespace simas::mpisim {
 
@@ -243,19 +242,16 @@ int HaloExchanger::begin_exchange_r(const std::vector<field::Field*>& fields) {
   }
   account_r_sends(count);
 
-  // Tell the validator which ghost columns are now in flight: kernels
-  // touching them before finish_exchange_r race with the unfinished recv.
-  if (analysis::Validator* v = engine_.validator()) {
-    for (field::Field* fld : fields) {
-      const idx g = fld->a().nghost();
-      const int lo_col =
-          slab_.rank_below >= 0 ? static_cast<int>(g - 1) : -1;
-      const int hi_col =
-          slab_.rank_above >= 0 ? static_cast<int>(fld->a().n1() + g) : -1;
-      if (lo_col >= 0 || hi_col >= 0)
-        v->begin_inflight_recv(fld->id(), fld->a().radial_stride(), lo_col,
-                               hi_col);
-    }
+  // Tell the validator/stream-capture which ghost columns are now in
+  // flight: kernels touching them before finish_exchange_r race with the
+  // unfinished recv.
+  for (field::Field* fld : fields) {
+    const idx g = fld->a().nghost();
+    const int lo_col = slab_.rank_below >= 0 ? static_cast<int>(g - 1) : -1;
+    const int hi_col =
+        slab_.rank_above >= 0 ? static_cast<int>(fld->a().n1() + g) : -1;
+    engine_.note_halo_begin(fld->id(), fld->a().radial_stride(), lo_col,
+                            hi_col);
   }
   return handle;
 }
@@ -274,8 +270,7 @@ void HaloExchanger::finish_exchange_r(int handle) {
 
   // The data has arrived: clear the in-flight marks before the unpack
   // kernels legitimately write those ghost columns.
-  if (analysis::Validator* v = engine_.validator())
-    for (field::Field* fld : slot.fields) v->end_inflight_recv(fld->id());
+  for (field::Field* fld : slot.fields) engine_.note_halo_end(fld->id());
 
   unpack_r(slot.fields, *slot.recv_lo, *slot.recv_hi);
   engine_.break_fusion();
@@ -304,8 +299,11 @@ void HaloExchanger::wrap_phi(const std::vector<field::Field*>& fields) {
   for (int f = 0; f < nf; ++f) {
     field::Field& fld = *fields[static_cast<std::size_t>(f)];
     const idx n1 = fld.a().n1(), n2 = fld.a().n2(), n3 = fld.a().n3();
+    // The pack reads owned radial columns only — safe while the same
+    // field's radial ghosts are in flight (overlapped exchange).
     engine_.for_each(pack_site, par::Range3{0, n1, 0, n2, 0, 1},
-                     {par::in(fld.id()), par::out(phi_buf_.id())},
+                     {par::in(fld.id(), par::Span::Interior),
+                      par::out(phi_buf_.id())},
                      [&, f, n3](idx i, idx j, idx) {
                        phi_buf_(i, j, 2 * f) = fld(i, j, n3 - 1);
                        phi_buf_(i, j, 2 * f + 1) = fld(i, j, 0);
@@ -328,8 +326,11 @@ void HaloExchanger::wrap_phi(const std::vector<field::Field*>& fields) {
   for (int f = 0; f < nf; ++f) {
     field::Field& fld = *fields[static_cast<std::size_t>(f)];
     const idx n1 = fld.a().n1(), n2 = fld.a().n2(), n3 = fld.a().n3();
+    // The unpack writes φ ghosts of owned radial columns — disjoint from
+    // any in-flight radial ghost column.
     engine_.for_each(unpack_site, par::Range3{0, n1, 0, n2, 0, 1},
-                     {par::in(phi_buf_.id()), par::out(fld.id())},
+                     {par::in(phi_buf_.id()),
+                      par::out(fld.id(), par::Span::Interior)},
                      [&, f, n3](idx i, idx j, idx) {
                        fld(i, j, -1) = phi_buf_(i, j, 2 * f);
                        fld(i, j, n3) = phi_buf_(i, j, 2 * f + 1);

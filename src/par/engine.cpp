@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "analysis/static_verifier.hpp"
+#include "analysis/stream_capture.hpp"
 #include "analysis/validator.hpp"
 #include "par/graph_cache.hpp"
 #include "util/logging.hpp"
@@ -46,18 +48,55 @@ Engine::Engine(EngineConfig cfg)
   sched_ = make_scheduler(cfg_.loops,
                           SchedulerContext{&cfg_, &cost_, &ledger_, &mem_,
                                            &tracer_, &metrics_, &profiler_});
-  if (cfg_.validate) {
+  // Verified-stream certificates: a certificate for this scope means an
+  // engine of identical shape already ran its full stream under both the
+  // runtime validator and the static verifier, clean. Skip the O(cells)
+  // shadow machinery and fall back to the O(1)-per-op integrity hash —
+  // unless validate_fatal is set (the CI validate job checks everything).
+  if (cfg_.certify && cfg_.graph_cache != nullptr &&
+      !cert_scope().empty() && !cfg_.validate_fatal) {
+    cert_ = cfg_.graph_cache->find_certificate(cert_scope());
+    certified_ = cert_ != nullptr;
+  }
+  if (cfg_.certify && !certified_) {
+    // First engine of an uncertified scope: validate + capture so the
+    // first report drain can mint the certificate.
+    cfg_.validate = true;
+    cfg_.capture_stream = true;
+  }
+  if (cfg_.validate && !certified_) {
     validator_ = std::make_unique<analysis::Validator>(cfg_, mem_);
-    mem_.set_observer(validator_.get());
     shadow_exec_ = true;
     shadow_ctx_.owner = validator_.get();
+  }
+  if (cfg_.capture_stream && !certified_) {
+    capture_ = std::make_unique<analysis::StreamCapture>(mem_);
+    // The MemoryManager has a single observer slot: the capture records
+    // every data event and forwards it to the validator.
+    capture_->set_next(validator_.get());
+    mem_.set_observer(capture_.get());
+  } else if (validator_ != nullptr) {
+    mem_.set_observer(validator_.get());
   }
 }
 
 Engine::~Engine() {
+  if (capture_ != nullptr || validator_ != nullptr) mem_.set_observer(nullptr);
+  if (certified_) {
+    // No validator ran: the integrity contract is the stream hash. A
+    // mismatch means this engine's stream was NOT the one certified for
+    // its scope — a shape-key collision or a broken scope contract. Loud.
+    if (!certified_stream_matches())
+      log_error("certified stream diverged from the certificate for scope '" +
+                cert_scope() + "' (op " +
+                std::to_string(live_ops_) + " of " +
+                std::to_string(cert_->ops) +
+                " expected): shape-key collision?");
+    return;
+  }
   if (validator_ == nullptr) return;
-  mem_.set_observer(nullptr);
   const analysis::ValidationReport report = validator_->take();
+  finalize_certificate(report);
   if (!report.diagnostics.empty()) {
     for (const analysis::Diagnostic& d : report.diagnostics) {
       if (d.severity == analysis::Severity::Error)
@@ -80,7 +119,49 @@ Engine::~Engine() {
 
 analysis::ValidationReport Engine::take_validation_report() {
   if (validator_ == nullptr) return {};
-  return validator_->take();
+  analysis::ValidationReport report = validator_->take();
+  finalize_certificate(report);
+  return report;
+}
+
+void Engine::finalize_certificate(const analysis::ValidationReport& report) {
+  if (!cfg_.certify || cert_finalized_) return;
+  cert_finalized_ = true;
+  if (capture_ == nullptr || cfg_.graph_cache == nullptr) return;
+  if (report.errors() > 0) return;
+  const analysis::ValidationReport st = static_verify();
+  if (st.errors() > 0) return;
+  StreamCertificate cert;
+  cert.scope = cert_scope();
+  cert.stream_hash = capture_->stream_hash();
+  cert.ops = capture_->ops();
+  cert.runtime_clean = true;
+  cert.static_clean = true;
+  cfg_.graph_cache->publish_certificate(cert);
+}
+
+analysis::ValidationReport Engine::static_verify() const {
+  if (capture_ == nullptr) return {};
+  return analysis::verify_stream(*capture_, analysis::StaticModel::from(cfg_));
+}
+
+bool Engine::certified_stream_matches() const {
+  if (!certified_ || cert_ == nullptr) return true;
+  return live_hash_ == cert_->stream_hash && live_ops_ == cert_->ops;
+}
+
+void Engine::note_halo_begin(gpusim::ArrayId id, std::size_t radial_stride,
+                             int lo_column, int hi_column) {
+  if (lo_column < 0 && hi_column < 0) return;
+  if (validator_ != nullptr)
+    validator_->begin_inflight_recv(id, radial_stride, lo_column, hi_column);
+  if (capture_ != nullptr)
+    capture_->on_halo_begin(id, lo_column >= 0, hi_column >= 0);
+}
+
+void Engine::note_halo_end(gpusim::ArrayId id) {
+  if (validator_ != nullptr) validator_->end_inflight_recv(id);
+  if (capture_ != nullptr) capture_->on_halo_end(id);
 }
 
 void Engine::body_begin() {
@@ -161,6 +242,13 @@ void Engine::submit(StreamOp op) {
     case GraphMode::Diverged:
       break;
   }
+  if (certified_) {
+    // Shadow checks are skipped under a certificate; fold the O(1)
+    // integrity fingerprint instead (compared at teardown).
+    live_hash_ = hash_op_signature(live_hash_, op);
+    ++live_ops_;
+  }
+  if (capture_ != nullptr) capture_->on_op(op);
   if (validator_ != nullptr) validator_->on_op(op);
   sched_->consume(op);
 }
@@ -278,6 +366,14 @@ telemetry::MetricsSnapshot Engine::metrics_snapshot() {
       .set(gs.graph_launch_seconds);
   registry_.gauge("graph.launch_seconds_saved", telemetry::Merge::Sum)
       .set(gs.kernel_launch_seconds_saved);
+
+  if (cfg_.certify) {
+    // cert.certified_runs: this engine ran under a certificate (shadow
+    // checks skipped); cert.certified_ops: ops covered by the hash-only
+    // integrity fold instead of element shadowing.
+    registry_.counter("cert.certified_runs").set(certified_ ? 1 : 0);
+    registry_.counter("cert.certified_ops").set(certified_ ? live_ops_ : 0);
+  }
 
   return registry_.snapshot();
 }

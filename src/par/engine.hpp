@@ -57,10 +57,13 @@
 #include "util/types.hpp"
 
 namespace simas::analysis {
+class StreamCapture;
 class Validator;
 }
 
 namespace simas::par {
+
+struct StreamCertificate;
 
 class Engine {
  public:
@@ -102,8 +105,34 @@ class Engine {
   /// Live kernel-stream validator; nullptr when validation is off.
   analysis::Validator* validator() { return validator_.get(); }
   /// Drain the validator's findings (empty report when validation is off).
-  /// Draining before teardown also disarms the validate_fatal abort.
+  /// Draining before teardown also disarms the validate_fatal abort — and,
+  /// under cfg.certify, mints the scope's verified-stream certificate when
+  /// the drained report and the static pass are both clean (the drained
+  /// stream must therefore be the complete run).
   analysis::ValidationReport take_validation_report();
+
+  /// Recorded event trace (cfg.capture_stream / uncertified cfg.certify);
+  /// nullptr when capture is off.
+  analysis::StreamCapture* stream_capture() { return capture_.get(); }
+  /// Run the static verifier over the recorded trace (empty report when
+  /// capture is off). Pure: executes no kernels, touches no engine state.
+  analysis::ValidationReport static_verify() const;
+
+  /// This engine found a verified-stream certificate for its scope and is
+  /// running with runtime shadow checks skipped.
+  bool certified() const { return certified_; }
+  /// Certified mode: the live stream folded so far matches the
+  /// certificate's fingerprint (always true otherwise). Checked again at
+  /// teardown, loudly.
+  bool certified_stream_matches() const;
+
+  /// Halo-exchange window notes (called by mpisim::HaloExchanger).
+  /// Forwarded to the runtime validator's in-flight tracking and recorded
+  /// in the stream capture; no-ops when neither is active. Columns are
+  /// (i + nghost); pass -1 to skip a side.
+  void note_halo_begin(gpusim::ArrayId id, std::size_t radial_stride,
+                       int lo_column, int hi_column);
+  void note_halo_end(gpusim::ArrayId id);
 
   /// Scoped time-category override: halo exchange wraps its buffer
   /// pack/unpack kernels in Mpi so that "buffer loading/unloading" lands in
@@ -245,6 +274,14 @@ class Engine {
                            std::initializer_list<Access> acc);
   void submit(StreamOp op);
   void diverge();
+  /// Mint the scope's verified-stream certificate from a drained runtime
+  /// report + a static pass over the capture (once; first drain wins).
+  void finalize_certificate(const analysis::ValidationReport& report);
+  /// Certificate partition key (cfg_.cert_scope, falling back to the graph
+  /// scope when unset — see EngineConfig::cert_scope).
+  const std::string& cert_scope() const {
+    return cfg_.cert_scope.empty() ? cfg_.graph_cache_scope : cfg_.cert_scope;
+  }
   // Validator body brackets (no-ops when validation is off); defined in
   // engine.cpp so this header needs only the forward declaration.
   void body_begin();
@@ -506,6 +543,17 @@ class Engine {
   gpusim::TimeCategory kernel_category_ = gpusim::TimeCategory::Compute;
   std::unique_ptr<Scheduler> sched_;
   std::unique_ptr<analysis::Validator> validator_;
+  /// Event-trace recorder; feeds static_verify() and certificate minting.
+  std::unique_ptr<analysis::StreamCapture> capture_;
+  /// Certificate this engine runs under (nullptr when uncertified).
+  const StreamCertificate* cert_ = nullptr;
+  bool certified_ = false;
+  /// Certificate minted/attempted already (first drain wins; teardown
+  /// does not re-mint).
+  bool cert_finalized_ = false;
+  /// Certified-mode integrity fold over the live op stream.
+  u64 live_hash_ = kStreamHashSeed;
+  i64 live_ops_ = 0;
   /// Validation on: the execute loops publish per-iteration ids so shadow
   /// slots can tag touched elements.
   bool shadow_exec_ = false;

@@ -45,6 +45,19 @@ struct KernelSite {
   /// Kernel touches boundary planes only (ghost fills, halo packing): its
   /// traffic scales with the paper problem's surface, not its volume.
   bool surface_scaled = false;
+  /// Source location of the registering call site (SIMAS_SITE threads
+  /// __FILE__/__LINE__ through). First registration wins; the interning
+  /// conflict check ignores provenance. `file` points at a string literal
+  /// and is never freed.
+  const char* file = nullptr;
+  int line = 0;
+
+  /// "file:line" of the registering site, or "" when unknown — the
+  /// provenance printed with every static-verifier diagnostic.
+  std::string location() const {
+    if (file == nullptr) return {};
+    return std::string(file) + ':' + std::to_string(line);
+  }
 };
 
 }  // namespace simas::par

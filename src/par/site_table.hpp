@@ -76,13 +76,23 @@ class SiteTable {
 /// Helper for static per-call-site registration:
 ///   static const KernelSite& site = SIMAS_SITE("advance_rho",
 ///                                              SiteKind::ParallelLoop, 3);
-#define SIMAS_SITE(...)                  \
+/// The expansion stamps __FILE__/__LINE__ into the proto so diagnostics
+/// can point at the registering loop (first registration wins).
+#define SIMAS_SITE(...)                      \
   ::simas::par::SiteTable::process().intern( \
-      ::simas::par::make_site(__VA_ARGS__))
+      ::simas::par::with_location(           \
+          ::simas::par::make_site(__VA_ARGS__), __FILE__, __LINE__))
 
 KernelSite make_site(std::string name, SiteKind kind, int fusion_group = 0,
                      bool calls_routine = false,
                      bool uses_derived_type = false,
                      bool async_capable = true, bool surface_scaled = false);
+
+/// Attach source provenance to a site proto (see SIMAS_SITE).
+inline KernelSite with_location(KernelSite s, const char* file, int line) {
+  s.file = file;
+  s.line = line;
+  return s;
+}
 
 }  // namespace simas::par

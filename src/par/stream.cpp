@@ -51,6 +51,30 @@ bool same_signature(const StreamOp& a, const StreamOp& b) {
          op_cells(a) == op_cells(b);
 }
 
+const char* span_name(Span s) {
+  switch (s) {
+    case Span::Full: return "full";
+    case Span::Interior: return "interior";
+    case Span::GhostLo: return "ghost_lo";
+    case Span::GhostHi: return "ghost_hi";
+  }
+  return "?";
+}
+
+u64 hash_op_signature(u64 h, const StreamOp& op) {
+  const auto fold = [&h](u64 v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  fold(static_cast<u64>(op_kind(op)));
+  const KernelSite* site = op_site(op);
+  // Site *id*, not pointer: the interning order is deterministic for a
+  // fixed code path, while pointer values are not stable across processes.
+  fold(site != nullptr ? static_cast<u64>(site->id) + 1 : 0);
+  fold(static_cast<u64>(op_cells(op)));
+  return h;
+}
+
 std::vector<KernelSite> stream_sites() {
   return SiteTable::process().all();
 }

@@ -28,14 +28,61 @@
 
 namespace simas::par {
 
-/// Declares one array an upcoming kernel touches, for traffic accounting
-/// and unified-memory residency tracking.
+/// Radial footprint of one declared access, relative to the rank's slab.
+/// The static verifier (analysis/static_verifier.hpp) reasons about
+/// element disjointness from these declarations alone: two accesses can
+/// only conflict when their spans overlap, and only Full/GhostLo/GhostHi
+/// spans can touch the radial ghost columns an overlapped halo exchange
+/// marks in flight. The runtime validator is element-exact and ignores
+/// spans, so a dishonest declaration is still caught when the stream
+/// actually executes.
+enum class Span : unsigned char {
+  Full,      ///< may touch any radial index, ghosts included (default)
+  Interior,  ///< radial indices [0, n1) only — never the ghost columns
+  GhostLo,   ///< the low radial ghost column (logical i < 0) only
+  GhostHi,   ///< the high radial ghost column (logical i >= n1) only
+};
+
+const char* span_name(Span s);
+
+/// Two declared spans may cover a common radial column.
+inline bool spans_overlap(Span a, Span b) {
+  return a == b || a == Span::Full || b == Span::Full;
+}
+
+/// Declares one array an upcoming kernel touches, for traffic accounting,
+/// unified-memory residency tracking, and static race analysis.
 struct Access {
   gpusim::ArrayId id = gpusim::kInvalidArray;
   bool write = false;
+  Span span = Span::Full;
+  /// Write targets are computed indices that several iterations may share
+  /// (histogram/accumulation patterns). Legal only under an atomic or
+  /// reduction site kind: a plain parallel loop declaring a scatter write
+  /// is not valid `do concurrent` (the static DuplicateWrite check).
+  bool scatter = false;
 };
-inline Access in(gpusim::ArrayId id) { return Access{id, false}; }
-inline Access out(gpusim::ArrayId id) { return Access{id, true}; }
+inline Access in(gpusim::ArrayId id, Span s = Span::Full) {
+  return Access{id, false, s, false};
+}
+inline Access out(gpusim::ArrayId id, Span s = Span::Full) {
+  return Access{id, true, s, false};
+}
+inline Access in_interior(gpusim::ArrayId id) {
+  return in(id, Span::Interior);
+}
+inline Access out_interior(gpusim::ArrayId id) {
+  return out(id, Span::Interior);
+}
+inline Access out_ghost_lo(gpusim::ArrayId id) {
+  return out(id, Span::GhostLo);
+}
+inline Access out_ghost_hi(gpusim::ArrayId id) {
+  return out(id, Span::GhostHi);
+}
+inline Access out_scatter(gpusim::ArrayId id) {
+  return Access{id, true, Span::Full, true};
+}
 
 /// Per-op access list with inline storage: recording a kernel launch must
 /// not heap-allocate on the steady-state path (kernels rarely declare
@@ -81,6 +128,14 @@ i64 op_cells(const StreamOp& op);
 /// Structural equality used to validate a replayed stream against its
 /// capture: same op kind, same call site, same iteration-space size.
 bool same_signature(const StreamOp& a, const StreamOp& b);
+
+/// Fold one op's signature (kind, site id, cells) into an FNV-1a style
+/// running hash. Two engines recording identical op streams accumulate
+/// identical hashes — the integrity check behind verified-stream
+/// certificates (par/graph_cache.hpp): a certified engine re-hashes its
+/// live stream and compares against the certificate at teardown.
+u64 hash_op_signature(u64 h, const StreamOp& op);
+inline constexpr u64 kStreamHashSeed = 14695981039346656037ull;
 
 // ---------------------------------------------------------------------
 // Graph capture/replay (CUDA-Graph analog).

@@ -167,6 +167,9 @@ telemetry::MetricsSnapshot JobServer::metrics() {
   registry_.counter("graph_cache.hits").set(gc.hits);
   registry_.counter("graph_cache.misses").set(gc.misses);
   registry_.counter("graph_cache.publishes").set(gc.publishes);
+  registry_.counter("cert_cache.hits").set(gc.cert_hits);
+  registry_.counter("cert_cache.misses").set(gc.cert_misses);
+  registry_.counter("cert_cache.publishes").set(gc.cert_publishes);
   const AdmissionQueue::Stats qs = queue_.stats();
   registry_.counter("queue.accepted").set(qs.accepted);
   registry_.counter("queue.rejected").set(qs.rejected);

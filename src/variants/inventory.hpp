@@ -12,7 +12,7 @@ class Engine;
 
 namespace simas::variants {
 
-/// Build the inventory from the global SiteRegistry plus the arrays
+/// Build the inventory from the process-wide SiteTable plus the arrays
 /// registered in `engine`'s memory manager.
 CodeInventory gather_inventory(par::Engine& engine);
 

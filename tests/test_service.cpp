@@ -1,7 +1,7 @@
-// Service-layer units: EnvConfig snapshots, SiteTable interning and the
-// deprecated SiteRegistry shim, AdmissionQueue backpressure, FieldCache
-// keying/first-wins, GraphCache publication, and JobServer lifecycle
-// (submit / reject / prewarm / drain) on small real experiments.
+// Service-layer units: EnvConfig snapshots, SiteTable interning,
+// AdmissionQueue backpressure, FieldCache keying/first-wins, GraphCache
+// publication, and JobServer lifecycle (submit / reject / prewarm /
+// drain) on small real experiments.
 
 #include <gtest/gtest.h>
 
@@ -17,7 +17,6 @@
 #include "par/env_config.hpp"
 #include "par/graph_cache.hpp"
 #include "par/sim_context.hpp"
-#include "par/site_registry.hpp"
 #include "par/site_table.hpp"
 #include "service/admission_queue.hpp"
 #include "service/field_cache.hpp"
@@ -78,7 +77,7 @@ TEST(HostThreads, ExplicitEnvSnapshotOverridesAuto) {
 }
 
 // ---------------------------------------------------------------------
-// SiteTable + deprecated SiteRegistry shim.
+// SiteTable.
 
 TEST(SiteTableUnit, LocalTableInternsIndependently) {
   par::SiteTable table;
@@ -115,27 +114,6 @@ TEST(SiteTableUnit, ConcurrentInterningIsSafeAndStable) {
   for (int t = 1; t < kThreads; ++t)
     EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
 }
-
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-TEST(SiteRegistryShim, DeprecatedInstanceForwardsToProcessTable) {
-  // Out-of-tree callers of the pre-split API must keep working for one
-  // release: instance() still hands out a registrar over the process
-  // table, and SIMAS_SITE resolves to the same interned pointer.
-  auto& reg = par::SiteRegistry::instance();
-  const par::KernelSite& via_shim = reg.register_site(
-      par::make_site("svc_shim_site", SiteKind::ParallelLoop));
-  const par::KernelSite& via_table = par::SiteTable::process().intern(
-      par::make_site("svc_shim_site", SiteKind::ParallelLoop));
-  EXPECT_EQ(&via_shim, &via_table);
-  EXPECT_EQ(reg.size(), par::SiteTable::process().size());
-  EXPECT_EQ(reg.all().size(), par::SiteTable::process().all().size());
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 // ---------------------------------------------------------------------
 // AdmissionQueue.
