@@ -3,6 +3,7 @@
 // versions on 1 and 8 A100 GPUs.
 
 #include <iostream>
+#include <string>
 
 #include "bench_support/run_experiment.hpp"
 #include "util/table.hpp"
@@ -18,17 +19,27 @@ void breakdown_for(int nranks) {
   Table table(std::to_string(nranks) + " GPU(s): minutes (wall = MPI + rest)");
   table.set_header({"version", "wall", "wall - MPI", "MPI", "MPI %"});
   for (const auto version : variants::gpu_versions()) {
-    ExperimentConfig cfg;
-    cfg.version = version;
-    cfg.nranks = nranks;
-    cfg.grid = bench_support::bench_grid();
-    const auto res = run_experiment(cfg);
-    table.row()
-        .cell(variants::version_tag(version))
-        .cell(res.wall_minutes, 1)
-        .cell(res.non_mpi_minutes(), 1)
-        .cell(res.mpi_minutes, 1)
-        .cell(100.0 * res.mpi_minutes / res.wall_minutes, 1);
+    const bool unified =
+        variants::traits_of(version).memory == gpusim::MemoryMode::Unified;
+    // UM versions get a "+h" pseudo-version row: the same code with
+    // span-driven prefetch/advise hints (EngineConfig::um_hints), showing
+    // how much of the Fig. 3 UM penalty the hints recover.
+    for (const bool um_hints : {false, true}) {
+      if (um_hints && !unified) continue;
+      ExperimentConfig cfg;
+      cfg.version = version;
+      cfg.nranks = nranks;
+      cfg.grid = bench_support::bench_grid();
+      cfg.um_hints = um_hints;
+      const auto res = run_experiment(cfg);
+      table.row()
+          .cell(std::string(variants::version_tag(version)) +
+                (um_hints ? "+h" : ""))
+          .cell(res.wall_minutes, 1)
+          .cell(res.non_mpi_minutes(), 1)
+          .cell(res.mpi_minutes, 1)
+          .cell(100.0 * res.mpi_minutes / res.wall_minutes, 1);
+    }
   }
   table.print(std::cout);
   std::cout << '\n';

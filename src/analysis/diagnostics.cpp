@@ -27,6 +27,8 @@ const char* check_name(Check c) {
     case Check::AsyncReductionNoWait: return "async-reduction-no-wait";
     case Check::AsyncHostAccessNoSync: return "async-host-access-no-sync";
     case Check::InflightGhostRead: return "inflight-ghost-read";
+    case Check::PrefetchSpanMismatch: return "prefetch-span-mismatch";
+    case Check::UseAfterEvict: return "use-after-evict";
   }
   return "?";
 }
@@ -46,6 +48,8 @@ Severity check_severity(Check c) {
     case Check::KernelOutsideRegion:
     case Check::UnbalancedDataRegion:
     case Check::DeclaredWriteNotTouched:
+    case Check::PrefetchSpanMismatch:
+    case Check::UseAfterEvict:
       return Severity::Warning;
   }
   return Severity::Error;

@@ -42,9 +42,18 @@ enum class Check {
   AsyncHostAccessNoSync,///< host pulled data with device writes still in
                         ///< flight on the async queue (no device_sync)
   // -- Overlapped halo exchange --
-  InflightGhostRead     ///< kernel read a ghost plane whose nonblocking
+  InflightGhostRead,    ///< kernel read a ghost plane whose nonblocking
                         ///< exchange has not been finish()ed (RAW race
                         ///< against an unfinished recv)
+  // -- Unified-memory hint correctness --
+  PrefetchSpanMismatch, ///< the pending device prefetch's span does not
+                        ///< cover the next device access: the kernel still
+                        ///< demand-faults the uncovered pages, so the hint
+                        ///< silently buys nothing (perf hazard, not a bug)
+  UseAfterEvict         ///< kernel accesses an array on the device after it
+                        ///< was prefetched/paged to the host with no
+                        ///< intervening device prefetch: every touch is a
+                        ///< fresh demand migration (ping-pong hazard)
 };
 
 const char* check_name(Check c);

@@ -15,6 +15,14 @@ const par::KernelOp* kernel_payload(const par::StreamOp& op) {
   return nullptr;
 }
 
+/// Does a prefetched span cover a subsequently accessed span? Spans are
+/// coarse radial classes, so coverage is exact-match-or-Full: a Full
+/// prefetch covers everything, and any span trivially covers itself.
+/// Everything else leaves uncovered pages that still demand-fault.
+bool span_covers(par::Span prefetched, par::Span accessed) {
+  return prefetched == par::Span::Full || prefetched == accessed;
+}
+
 /// Does a declared span cover any radial ghost column currently posted?
 bool span_hits_inflight(par::Span s, bool lo, bool hi) {
   switch (s) {
@@ -65,6 +73,7 @@ class Pass {
   Pass(const StreamCapture& capture, const StaticModel& model)
       : capture_(capture) {
     manual_gpu_ = model.memory == gpusim::MemoryMode::Manual && model.gpu;
+    unified_gpu_ = model.memory == gpusim::MemoryMode::Unified && model.gpu;
     acc_async_ =
         model.loops == par::LoopModel::Acc && model.async_enabled && model.gpu;
     acc_fusion_ =
@@ -103,6 +112,11 @@ class Pass {
     bool inflight = false;
     bool inflight_lo = false;
     bool inflight_hi = false;
+    // -- Unified-memory hint state (Unified mode only) --
+    bool preferred_host = false;   ///< advised AdvisePreferredHost
+    bool prefetch_pending = false; ///< device prefetch not yet consumed
+    par::Span prefetch_span = par::Span::Full;
+    bool paged_to_host = false;    ///< last residency hint was host-ward
   };
 
   /// An array pure-written by an earlier kernel of the open fusion chain.
@@ -155,6 +169,34 @@ class Pass {
       // behind a FusionBreakOp) and end the open fusion chain.
       drain_async_queue();
       reset_chain();
+      return;
+    }
+
+    if (kind == par::OpKind::MemHint) {
+      // Hints have no body and never break fusion chains; they only move
+      // the per-array residency-hint state the checks below consume.
+      const auto& mh = std::get<par::MemHintOp>(op);
+      ArrState& st = state_for(mh.id);
+      switch (mh.hint) {
+        case par::MemHint::PrefetchToDevice:
+          st.prefetch_pending = true;
+          st.prefetch_span = mh.span;
+          st.paged_to_host = false;
+          break;
+        case par::MemHint::PrefetchToHost:
+          st.prefetch_pending = false;
+          st.paged_to_host = true;
+          break;
+        case par::MemHint::AdviseReadMostly:
+          break;
+        case par::MemHint::AdvisePreferredHost:
+          // Pinned host-side: device touches become zero-copy remote
+          // accesses, so "evicted" residency is the intended state.
+          st.preferred_host = true;
+          st.prefetch_pending = false;
+          st.paged_to_host = false;
+          break;
+      }
       return;
     }
 
@@ -231,6 +273,45 @@ class Pass {
                    loc);
           break;
         }
+      }
+
+      // Unified-memory hint correctness. Every kernel access is a device
+      // access, so it consumes the array's pending residency hints: a
+      // device prefetch whose span does not cover this access left the
+      // uncovered pages to demand-fault (the hint silently bought
+      // nothing), and an access after a host-ward prefetch with no
+      // re-prefetch demand-migrates the whole footprint back (ping-pong).
+      // PreferredHost-advised arrays are exempt from the latter: their
+      // device touches are intended zero-copy remote accesses.
+      if (unified_gpu_) {
+        ArrState& hs = state_for(a.id);
+        if (hs.prefetch_pending) {
+          bool covered = true;
+          if (a.read) covered = span_covers(hs.prefetch_span, a.read_span);
+          if (a.write)
+            covered =
+                covered && span_covers(hs.prefetch_span, a.write_span);
+          if (!covered) {
+            diagnose(Check::PrefetchSpanMismatch, site,
+                     capture_.array_name(a.id),
+                     "device prefetch span does not cover this kernel's "
+                     "declared access span: the uncovered pages still "
+                     "demand-fault, so the prefetch hides nothing — widen "
+                     "the prefetch span or match it to the access",
+                     loc);
+          }
+          hs.prefetch_pending = false;
+        } else if (hs.paged_to_host && !hs.preferred_host) {
+          diagnose(Check::UseAfterEvict, site, capture_.array_name(a.id),
+                   "kernel accesses an array prefetched to the host with "
+                   "no intervening device prefetch: every touch is a fresh "
+                   "demand migration back (ping-pong) — re-prefetch to the "
+                   "device before the launch, or advise preferred-host if "
+                   "zero-copy access is intended",
+                   loc);
+        }
+        // Either way the demand touch re-establishes device residency.
+        hs.paged_to_host = false;
       }
 
       // In-flight ghost regions: any declared access whose radial span
@@ -397,6 +478,7 @@ class Pass {
 
   const StreamCapture& capture_;
   bool manual_gpu_ = false;
+  bool unified_gpu_ = false;
   bool acc_async_ = false;
   bool acc_fusion_ = false;
 

@@ -22,6 +22,8 @@ void StreamCapture::on_op(const par::StreamOp& op) {
     if (ko != nullptr)
       for (const par::Access& a : ko->accesses) remember_name(a.id);
   }
+  if (const auto* mh = std::get_if<par::MemHintOp>(&op))
+    remember_name(mh->id);
 }
 
 void StreamCapture::on_halo_begin(gpusim::ArrayId id, bool lo_inflight,

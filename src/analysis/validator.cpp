@@ -108,6 +108,14 @@ void Validator::on_op(const par::StreamOp& op) {
   ++op_index_;
   const par::OpKind kind = par::op_kind(op);
 
+  if (kind == par::OpKind::MemHint) {
+    // Driver residency hint: no kernel body follows, no fusion effect, no
+    // coherence transition. Hint-correctness rules (wrong-span prefetch,
+    // use-after-evict) are span-level reasoning and live in the static
+    // verifier; the runtime pass just counts the op.
+    return;
+  }
+
   if (kind == par::OpKind::Sync || kind == par::OpKind::FusionBreak) {
     // Both drain the single async queue: SyncOp is an explicit wait; every
     // modeled MPI entry point emits a FusionBreakOp and captures its

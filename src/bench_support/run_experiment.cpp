@@ -95,10 +95,11 @@ mhd::SurfaceBrFn boundary_surface_br(const BoundaryConfig& b) {
 
 std::string ExperimentConfig::shape_key() const {
   char buf[160];
-  std::snprintf(buf, sizeof(buf), "v%d_g%lldx%lldx%lld_s%.4f_n%d_h%d_b%016llx",
+  std::snprintf(buf, sizeof(buf),
+                "v%d_g%lldx%lldx%lld_s%.4f_n%d_h%d_u%d_b%016llx",
                 static_cast<int>(version), static_cast<long long>(grid.nr),
                 static_cast<long long>(grid.nt), static_cast<long long>(grid.np),
-                grid.r_stretch, nranks, overlap_halo ? 1 : 0,
+                grid.r_stretch, nranks, overlap_halo ? 1 : 0, um_hints ? 1 : 0,
                 static_cast<unsigned long long>(
                     boundary.enabled ? boundary.hash() : 0ull));
   return buf;
@@ -207,6 +208,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     ecfg.capture_stream = cfg.capture_stream;
     ecfg.certify = cfg.certify;
     ecfg.overlap_halo = cfg.overlap_halo;
+    ecfg.um_hints = cfg.um_hints;
     ecfg.ctx = &ctx;
     ecfg.shared_pool = cfg.shared_pool;
     ecfg.graph_cache = cfg.graph_cache;

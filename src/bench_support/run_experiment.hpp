@@ -92,6 +92,12 @@ struct ExperimentConfig {
   /// the compute clock (EngineConfig::overlap_halo). Physics is
   /// byte-identical; only the modeled MPI exposure changes.
   bool overlap_halo = false;
+  /// Span-driven unified-memory prefetch/advise hints
+  /// (EngineConfig::um_hints): the scheduler bulk-prefetches kernel
+  /// footprints and the halo layer pins its staging buffers host-side.
+  /// Only meaningful for the unified-memory code versions; physics is
+  /// byte-identical, only the modeled paging/MPI exposure changes.
+  bool um_hints = false;
   /// Record each rank's full event trace and run the static verifier over
   /// it after the measured steps (EngineConfig::capture_stream). The
   /// per-rank reports land in ExperimentResult::static_reports. No

@@ -68,6 +68,18 @@ double CostModel::um_migration_time(i64 bytes, ScaleClass sc) const {
          b / (spec_.host_link_bw_gbs * 1.0e9);
 }
 
+double CostModel::um_prefetch_time(i64 bytes, ScaleClass sc) const {
+  const double b = static_cast<double>(bytes) * scale(sc);
+  if (b <= 0.0) return 0.0;
+  return spec_.host_link_latency_s + b / (spec_.host_link_bw_gbs * 1.0e9);
+}
+
+double CostModel::um_remote_access_time(i64 bytes, ScaleClass sc) const {
+  const double b = static_cast<double>(bytes) * scale(sc);
+  if (b <= 0.0) return 0.0;
+  return b / (spec_.host_link_bw_gbs * 1.0e9);
+}
+
 double CostModel::p2p_transfer_time(i64 bytes, ScaleClass sc) const {
   const double b = static_cast<double>(bytes) * scale(sc);
   return spec_.p2p_latency_s + b / (spec_.p2p_bw_gbs * 1.0e9);

@@ -60,6 +60,17 @@ class CostModel {
   /// link (one direction), including per-page fault service latency.
   double um_migration_time(i64 bytes, ScaleClass sc) const;
 
+  /// Unified-memory prefetch of `bytes` logical bytes (one direction):
+  /// cudaMemPrefetchAsync-style bulk move. The driver batches the whole
+  /// range, so only the host-link launch latency is paid once — no per-page
+  /// fault service. This is the modeled win of hinting over demand paging.
+  double um_prefetch_time(i64 bytes, ScaleClass sc) const;
+
+  /// Zero-copy device access to host-pinned (PreferredHost-advised) pages:
+  /// the kernel streams `bytes` over the host link in place, with no fault
+  /// service and no page movement.
+  double um_remote_access_time(i64 bytes, ScaleClass sc) const;
+
   /// Device-to-device transfer (NVLink P2P / CUDA-aware MPI path).
   double p2p_transfer_time(i64 bytes, ScaleClass sc) const;
 

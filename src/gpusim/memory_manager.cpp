@@ -1,5 +1,6 @@
 #include "gpusim/memory_manager.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace simas::gpusim {
@@ -15,7 +16,13 @@ const char* memory_mode_name(MemoryMode m) {
 
 MemoryManager::MemoryManager(MemoryMode mode, CostModel* cost,
                              ClockLedger* ledger)
-    : mode_(mode), cost_(cost), ledger_(ledger) {}
+    : mode_(mode), cost_(cost), ledger_(ledger) {
+  if (mode_ == MemoryMode::Unified && cost_ != nullptr) {
+    const DeviceSpec& d = cost_->device();
+    um_.configure(static_cast<i64>(d.um_page_bytes),
+                  static_cast<i64>(d.mem_bytes));
+  }
+}
 
 ArrayId MemoryManager::register_array(std::string name, i64 bytes,
                                       ScaleClass scale,
@@ -120,20 +127,56 @@ void MemoryManager::update_host(ArrayId id, TimeCategory cat) {
   ledger_->advance(cost_->host_transfer_time(r.bytes, r.scale), cat);
 }
 
-i64 MemoryManager::on_device_access(ArrayId id, i64 bytes, TimeCategory cat) {
+i64 MemoryManager::on_device_access(ArrayId id, i64 bytes, TimeCategory cat,
+                                    bool write) {
   if (mode_ != MemoryMode::Unified) return 0;
   const ArrayRecord& r = rec(id);
-  const i64 moved = um_.touch_device(id, bytes);
+  if (um_.preferred_host(id)) {
+    // Pinned host-side: the kernel streams the bytes over the link in place
+    // (zero-copy), no page movement and no fault service.
+    const i64 touched = std::min(bytes, r.bytes);
+    um_.touch_device(id, bytes, write);  // ticks LRU + remote-access stats
+    ledger_->advance(cost_->um_remote_access_time(touched, r.scale), cat);
+    return 0;
+  }
+  const i64 moved = um_.touch_device(id, bytes, write);
   if (moved > 0) ledger_->advance(cost_->um_migration_time(moved, r.scale), cat);
   return moved;
 }
 
-i64 MemoryManager::on_host_access(ArrayId id, i64 bytes, TimeCategory cat) {
+i64 MemoryManager::on_host_access(ArrayId id, i64 bytes, TimeCategory cat,
+                                  bool write) {
   if (mode_ != MemoryMode::Unified) return 0;
   const ArrayRecord& r = rec(id);
-  const i64 moved = um_.touch_host(id, bytes);
+  const i64 moved = um_.touch_host(id, bytes, write);
   if (moved > 0) ledger_->advance(cost_->um_migration_time(moved, r.scale), cat);
   return moved;
+}
+
+i64 MemoryManager::mem_prefetch(ArrayId id, i64 bytes, bool to_device,
+                                TimeCategory cat) {
+  if (mode_ != MemoryMode::Unified) return 0;
+  const ArrayRecord& r = rec(id);
+  const i64 moved = to_device ? um_.prefetch_to_device(id, bytes)
+                              : um_.prefetch_to_host(id, bytes);
+  if (moved > 0) ledger_->advance(cost_->um_prefetch_time(moved, r.scale), cat);
+  return moved;
+}
+
+i64 MemoryManager::mem_advise(ArrayId id, UmAdvise adv, TimeCategory cat) {
+  if (mode_ != MemoryMode::Unified) return 0;
+  const ArrayRecord& r = rec(id);
+  const i64 moved = um_.advise(id, adv);
+  if (moved > 0) ledger_->advance(cost_->um_prefetch_time(moved, r.scale), cat);
+  return moved;
+}
+
+bool MemoryManager::host_pinned(ArrayId id) const {
+  return mode_ == MemoryMode::Unified && um_.preferred_host(id);
+}
+
+bool MemoryManager::staging_overlap_eligible(ArrayId id) const {
+  return host_pinned(id) && um_.device_resident_bytes(id) == 0;
 }
 
 bool MemoryManager::device_direct_eligible(ArrayId id) const {

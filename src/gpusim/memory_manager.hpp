@@ -119,11 +119,33 @@ class MemoryManager {
 
   // ---- Access notifications (issued by the Engine / MPI layer) ----
   /// A device kernel touches `bytes` of the array. Under Unified this may
-  /// migrate pages (accounted to `cat`). Returns migrated logical bytes.
-  i64 on_device_access(ArrayId id, i64 bytes, TimeCategory cat);
+  /// migrate pages (accounted to `cat`), or stream the bytes over the link
+  /// in place when the array is PreferredHost-pinned. `write` drives
+  /// read-duplication invalidation. Returns migrated logical bytes.
+  i64 on_device_access(ArrayId id, i64 bytes, TimeCategory cat,
+                       bool write = false);
   /// Host code (MPI staging) touches `bytes`. Under Unified this pages the
   /// data out of the device. Returns migrated logical bytes.
-  i64 on_host_access(ArrayId id, i64 bytes, TimeCategory cat);
+  i64 on_host_access(ArrayId id, i64 bytes, TimeCategory cat,
+                     bool write = false);
+
+  // ---- Modeled UM hints (no-ops unless Unified) ----
+  /// cudaMemPrefetchAsync analogue: bulk-move `bytes` of the array toward
+  /// the device (or host) ahead of demand, charged at the batched prefetch
+  /// rate (host-link latency once, no per-page fault service). Returns the
+  /// bytes actually moved.
+  i64 mem_prefetch(ArrayId id, i64 bytes, bool to_device, TimeCategory cat);
+  /// cudaMemAdvise analogue. PreferredHost pages any device-resident bytes
+  /// out at the prefetch rate.
+  i64 mem_advise(ArrayId id, UmAdvise adv,
+                 TimeCategory cat = TimeCategory::DataMotion);
+
+  /// True if the array's pages are pinned host-side (PreferredHost advise).
+  bool host_pinned(ArrayId id) const;
+  /// True if a non-CUDA-aware MPI send/recv of this buffer needs no page
+  /// fault service (host-pinned and nothing device-resident): the DMA can
+  /// run on the copy stream like a CUDA-aware transfer would.
+  bool staging_overlap_eligible(ArrayId id) const;
 
   /// True if MPI can transfer this array device-to-device without staging
   /// (CUDA-aware MPI with a device-resident buffer).
@@ -132,6 +154,7 @@ class MemoryManager {
   const ArrayRecord& record(ArrayId id) const;
   const MemoryStats& stats() const { return stats_; }
   const UmStats& um_stats() const { return um_.stats(); }
+  const UnifiedPages& um_pages() const { return um_; }
   std::vector<ArrayRecord> arrays() const;
 
  private:

@@ -4,8 +4,22 @@
 
 namespace simas::gpusim {
 
+void UnifiedPages::configure(i64 page_bytes, i64 capacity_bytes) {
+  page_bytes_ = std::max<i64>(1, page_bytes);
+  capacity_ = std::max<i64>(1, capacity_bytes);
+  for (auto& [id, e] : arrays_) {
+    (void)id;
+    e.page_hits.assign(static_cast<size_t>(npages(e)), 0u);
+  }
+}
+
 void UnifiedPages::add_array(int array_id, i64 bytes) {
-  arrays_[array_id] = Entry{bytes, 0};
+  Entry e;
+  e.bytes = bytes;
+  e.page_hits.assign(static_cast<size_t>(ceil_div(std::max<i64>(bytes, 0),
+                                                  page_bytes_)),
+                     0u);
+  arrays_[array_id] = std::move(e);
 }
 
 void UnifiedPages::remove_array(int array_id) {
@@ -15,36 +29,224 @@ void UnifiedPages::remove_array(int array_id) {
   arrays_.erase(it);
 }
 
-i64 UnifiedPages::touch_device(int array_id, i64 bytes) {
+UnifiedPages::Entry* UnifiedPages::find(int array_id) {
   const auto it = arrays_.find(array_id);
-  if (it == arrays_.end()) return 0;
-  Entry& e = it->second;
-  const i64 touched = std::min(bytes, e.bytes);
-  const i64 to_move = std::max<i64>(0, touched - e.device_bytes);
+  return it == arrays_.end() ? nullptr : &it->second;
+}
+
+const UnifiedPages::Entry* UnifiedPages::find(int array_id) const {
+  const auto it = arrays_.find(array_id);
+  return it == arrays_.end() ? nullptr : &it->second;
+}
+
+i64 UnifiedPages::npages(const Entry& e) const {
+  return ceil_div(std::max<i64>(e.bytes, 0), page_bytes_);
+}
+
+i64 UnifiedPages::pages_in_range(i64 lo, i64 hi) const {
+  if (hi <= lo) return 0;
+  return (hi - 1) / page_bytes_ - lo / page_bytes_ + 1;
+}
+
+void UnifiedPages::tick_access(Entry& e, i64 touched) {
+  e.last_tick = ++tick_;
+  const i64 n = std::min(pages_in_range(0, touched), npages(e));
+  for (i64 p = 0; p < n; ++p) e.page_hits[static_cast<size_t>(p)]++;
+}
+
+void UnifiedPages::note_direction(Entry& e, int dir) {
+  ++migration_events_;
+  if (e.last_dir != 0 && e.last_dir != dir &&
+      migration_events_ - e.last_dir_event <= kThrashWindow) {
+    stats_.thrash_events++;
+  }
+  e.last_dir = dir;
+  e.last_dir_event = migration_events_;
+}
+
+void UnifiedPages::move_in(Entry& e, i64 bytes) {
+  e.device_bytes += bytes;
+  device_bytes_ += bytes;
+}
+
+void UnifiedPages::move_out(Entry& e, i64 bytes) {
+  e.device_bytes -= bytes;
+  device_bytes_ -= bytes;
+}
+
+i64 UnifiedPages::touch_device(int array_id, i64 bytes, bool write) {
+  Entry* e = find(array_id);
+  if (e == nullptr) return 0;
+  const i64 touched = std::min(bytes, e->bytes);
+  tick_access(*e, touched);
+  if (e->is_preferred_host) {
+    // Pinned host-side: the kernel reads/writes over the link in place.
+    stats_.remote_access_bytes += std::max<i64>(touched, 0);
+    if (write && e->dup_valid) {
+      e->dup_valid = false;
+      stats_.read_dup_invalidations++;
+    }
+    return 0;
+  }
+  const i64 to_move = std::max<i64>(0, touched - e->device_bytes);
   if (to_move > 0) {
-    e.device_bytes += to_move;
-    device_bytes_ += to_move;
+    const i64 pages = pages_in_range(e->device_bytes, e->device_bytes + to_move);
+    move_in(*e, to_move);
     stats_.h2d_bytes += to_move;
     stats_.migrations += 1;
+    stats_.faults += pages;
+    if (pages > 1) stats_.fault_batches += 1;
+    note_direction(*e, +1);
+    if (e->is_read_mostly && !write) e->dup_valid = true;
+    enforce_capacity(array_id);
+  }
+  if (write && e->dup_valid) {
+    e->dup_valid = false;
+    stats_.read_dup_invalidations++;
   }
   return to_move;
 }
 
-i64 UnifiedPages::touch_host(int array_id, i64 bytes) {
-  const auto it = arrays_.find(array_id);
-  if (it == arrays_.end()) return 0;
-  Entry& e = it->second;
-  const i64 touched = std::min(bytes, e.bytes);
+i64 UnifiedPages::touch_host(int array_id, i64 bytes, bool write) {
+  Entry* e = find(array_id);
+  if (e == nullptr) return 0;
+  const i64 touched = std::min(bytes, e->bytes);
+  tick_access(*e, touched);
+  if (e->dup_valid && !write) return 0;  // served from the read-duplicate
+  if (write && e->dup_valid) {
+    e->dup_valid = false;
+    stats_.read_dup_invalidations++;
+  }
   // Host touch invalidates the device copy of the touched range; the pages
   // that were on the device must be written back.
-  const i64 to_move = std::min(touched, e.device_bytes);
+  const i64 to_move = std::min(touched, e->device_bytes);
   if (to_move > 0) {
-    e.device_bytes -= to_move;
-    device_bytes_ -= to_move;
+    const i64 pages = pages_in_range(e->device_bytes - to_move, e->device_bytes);
+    move_out(*e, to_move);
     stats_.d2h_bytes += to_move;
     stats_.migrations += 1;
+    stats_.faults += pages;
+    if (pages > 1) stats_.fault_batches += 1;
+    note_direction(*e, -1);
   }
   return to_move;
+}
+
+i64 UnifiedPages::prefetch_to_device(int array_id, i64 bytes) {
+  Entry* e = find(array_id);
+  if (e == nullptr) return 0;
+  stats_.prefetches++;
+  e->last_tick = ++tick_;
+  if (e->is_preferred_host) return 0;  // pinned pages stay put
+  const i64 touched = std::min(bytes, e->bytes);
+  const i64 to_move = std::max<i64>(0, touched - e->device_bytes);
+  if (to_move > 0) {
+    move_in(*e, to_move);
+    stats_.h2d_bytes += to_move;
+    stats_.prefetch_bytes += to_move;
+    note_direction(*e, +1);
+    if (e->is_read_mostly) e->dup_valid = true;
+    enforce_capacity(array_id);
+  }
+  return to_move;
+}
+
+i64 UnifiedPages::prefetch_to_host(int array_id, i64 bytes) {
+  Entry* e = find(array_id);
+  if (e == nullptr) return 0;
+  stats_.prefetches++;
+  e->last_tick = ++tick_;
+  if (e->dup_valid) return 0;  // host copy already valid via duplication
+  const i64 touched = std::min(bytes, e->bytes);
+  const i64 to_move = std::min(touched, e->device_bytes);
+  if (to_move > 0) {
+    move_out(*e, to_move);
+    stats_.d2h_bytes += to_move;
+    stats_.prefetch_bytes += to_move;
+    note_direction(*e, -1);
+  }
+  return to_move;
+}
+
+i64 UnifiedPages::advise(int array_id, UmAdvise adv) {
+  Entry* e = find(array_id);
+  if (e == nullptr) return 0;
+  stats_.advises++;
+  if (adv == UmAdvise::ReadMostly) {
+    e->is_read_mostly = true;
+    if (e->device_bytes > 0) e->dup_valid = true;
+    return 0;
+  }
+  // PreferredHost: pin pages host-side; anything resident pages out once.
+  e->is_preferred_host = true;
+  e->dup_valid = false;
+  const i64 to_move = e->device_bytes;
+  if (to_move > 0) {
+    move_out(*e, to_move);
+    stats_.d2h_bytes += to_move;
+    stats_.prefetch_bytes += to_move;
+    note_direction(*e, -1);
+  }
+  return to_move;
+}
+
+bool UnifiedPages::preferred_host(int array_id) const {
+  const Entry* e = find(array_id);
+  return e != nullptr && e->is_preferred_host;
+}
+
+bool UnifiedPages::read_mostly(int array_id) const {
+  const Entry* e = find(array_id);
+  return e != nullptr && e->is_read_mostly;
+}
+
+i64 UnifiedPages::device_resident_bytes(int array_id) const {
+  const Entry* e = find(array_id);
+  return e == nullptr ? 0 : e->device_bytes;
+}
+
+i64 UnifiedPages::page_count(int array_id) const {
+  const Entry* e = find(array_id);
+  return e == nullptr ? 0 : npages(*e);
+}
+
+PageState UnifiedPages::page_state(int array_id, i64 page) const {
+  const Entry* e = find(array_id);
+  if (e == nullptr || page < 0 || page >= npages(*e)) return PageState::Host;
+  const bool resident = page * page_bytes_ < e->device_bytes;
+  if (!resident) return PageState::Host;
+  return e->dup_valid ? PageState::ReadDup : PageState::Device;
+}
+
+i64 UnifiedPages::page_access_count(int array_id, i64 page) const {
+  const Entry* e = find(array_id);
+  if (e == nullptr || page < 0 || page >= npages(*e)) return 0;
+  return e->page_hits[static_cast<size_t>(page)];
+}
+
+void UnifiedPages::enforce_capacity(int just_touched_id) {
+  while (device_bytes_ > capacity_) {
+    // LRU-ish victim: the least recently touched array with resident pages,
+    // never the one whose touch we are servicing (its pages are the working
+    // set). If nothing else is resident we accept the oversubscription.
+    Entry* victim = nullptr;
+    for (auto& [id, e] : arrays_) {
+      if (id == just_touched_id || e.device_bytes <= 0) continue;
+      if (victim == nullptr || e.last_tick < victim->last_tick) victim = &e;
+    }
+    if (victim == nullptr) return;
+    const i64 need = device_bytes_ - capacity_;
+    // Evict whole pages from the top of the victim's watermark.
+    const i64 take =
+        std::min(victim->device_bytes, ceil_div(need, page_bytes_) * page_bytes_);
+    const i64 pages =
+        pages_in_range(victim->device_bytes - take, victim->device_bytes);
+    move_out(*victim, take);
+    stats_.d2h_bytes += take;  // writeback
+    stats_.evictions += pages;
+    stats_.evicted_bytes += take;
+    note_direction(*victim, -1);
+  }
 }
 
 }  // namespace simas::gpusim

@@ -8,8 +8,33 @@
 // migrates the touched bytes back to the host. This is the mechanism behind
 // the paper's Fig. 4: with UM, every halo exchange drags pages across the
 // host link twice instead of using GPU peer-to-peer copies.
+//
+// On top of the byte watermark this models the driver's page machinery:
+//  * fixed-size pages (DeviceSpec::um_page_bytes; tests shrink it) with a
+//    derived per-page state (Host / Device / ReadDuplicated), per-page
+//    access counters and an array-level LRU tick;
+//  * a device-capacity limit (DeviceSpec::mem_bytes) with LRU-ish eviction:
+//    the least recently touched resident array pages out whole pages,
+//    counted as writeback traffic;
+//  * fault batching: one demand touch that drags several pages counts as a
+//    single batched fault event (the driver services contiguous faults in
+//    one go; the per-page service latency still lands in CostModel);
+//  * thrash detection: an array whose pages ping-pong host<->device within
+//    a short migration-event window raises a thrash event;
+//  * cudaMemPrefetchAsync / cudaMemAdvise analogues: prefetches move the
+//    same bytes a demand fault would but are accounted separately (batched,
+//    no fault service), ReadMostly duplicates read-only pages on both sides
+//    until a write invalidates the duplicate, and PreferredHost pins pages
+//    host-side so device touches become zero-copy remote accesses instead
+//    of migrations.
+//
+// The accessed-byte arithmetic is a *prefix* model: touching `bytes` of an
+// array means touching its first `bytes` bytes. That keeps the demand path
+// bit-identical to the original byte counter while the page layer adds
+// residency state on top.
 
 #include <unordered_map>
+#include <vector>
 
 #include "util/types.hpp"
 
@@ -18,36 +43,115 @@ namespace simas::gpusim {
 struct UmStats {
   i64 h2d_bytes = 0;   ///< logical bytes migrated host->device
   i64 d2h_bytes = 0;   ///< logical bytes migrated device->host
-  i64 migrations = 0;  ///< number of migration events
+  i64 migrations = 0;  ///< number of demand (fault-driven) migration events
+  // -- page engine --
+  i64 faults = 0;          ///< pages serviced by demand faults
+  i64 fault_batches = 0;   ///< demand events servicing >1 page in one batch
+  i64 prefetches = 0;      ///< prefetch ops issued (either direction)
+  i64 prefetch_bytes = 0;  ///< bytes moved by prefetch (h2d + d2h)
+  i64 advises = 0;         ///< advise ops applied
+  i64 evictions = 0;       ///< pages evicted under capacity pressure
+  i64 evicted_bytes = 0;   ///< bytes written back by eviction
+  i64 thrash_events = 0;   ///< host<->device ping-pong within the window
+  i64 remote_access_bytes = 0;     ///< zero-copy device access to pinned pages
+  i64 read_dup_invalidations = 0;  ///< writes that killed a read-duplicate
+};
+
+/// Residency of one page (derived from the prefix watermark).
+enum class PageState : unsigned char { Host, Device, ReadDup };
+
+/// Modeled cudaMemAdvise flags.
+enum class UmAdvise : unsigned char {
+  ReadMostly,     ///< duplicate pages on read; a write invalidates the copy
+  PreferredHost,  ///< pin pages host-side; device access is zero-copy remote
 };
 
 class UnifiedPages {
  public:
+  /// Set the page granularity and the device-capacity limit. Affects page
+  /// counts of arrays registered before and after the call.
+  void configure(i64 page_bytes, i64 capacity_bytes);
+
+  i64 page_bytes() const { return page_bytes_; }
+  i64 capacity_bytes() const { return capacity_; }
+
   /// Register an array of `bytes` logical bytes; initially host-resident.
   void add_array(int array_id, i64 bytes);
   void remove_array(int array_id);
 
   /// A device kernel touches `bytes` of the array: returns how many bytes
-  /// must migrate host->device (0 if already resident).
-  i64 touch_device(int array_id, i64 bytes);
+  /// must migrate host->device (0 if already resident, or if the array is
+  /// pinned host-side — the caller then charges a remote access instead).
+  i64 touch_device(int array_id, i64 bytes, bool write = false);
 
   /// The host touches `bytes` of the array (MPI staging, setup code):
-  /// returns how many bytes must migrate device->host.
-  i64 touch_host(int array_id, i64 bytes);
+  /// returns how many bytes must migrate device->host. Read-duplicated
+  /// arrays satisfy host reads from the duplicate for free.
+  i64 touch_host(int array_id, i64 bytes, bool write = false);
+
+  /// Modeled cudaMemPrefetchAsync: move `bytes` toward the device (or the
+  /// host) ahead of demand. Returns bytes actually moved; the caller costs
+  /// them at prefetch (batched, no fault service) rates.
+  i64 prefetch_to_device(int array_id, i64 bytes);
+  i64 prefetch_to_host(int array_id, i64 bytes);
+
+  /// Modeled cudaMemAdvise. PreferredHost pages any resident bytes out
+  /// (returned so the caller can cost the writeback as prefetch traffic).
+  i64 advise(int array_id, UmAdvise adv);
+
+  bool preferred_host(int array_id) const;
+  bool read_mostly(int array_id) const;
 
   /// Logical bytes currently device-resident across all arrays.
   i64 device_resident_bytes() const { return device_bytes_; }
+  /// Device-resident bytes of one array (0 for unknown ids).
+  i64 device_resident_bytes(int array_id) const;
+
+  /// Number of pages backing the array (0 for unknown ids).
+  i64 page_count(int array_id) const;
+  /// Residency of one page, derived from the watermark and advice flags.
+  PageState page_state(int array_id, i64 page) const;
+  /// Demand/remote accesses that touched this page.
+  i64 page_access_count(int array_id, i64 page) const;
 
   const UmStats& stats() const { return stats_; }
   void reset_stats() { stats_ = UmStats{}; }
 
+  /// Migration-event window for thrash detection: a direction flip within
+  /// this many migration events of the previous move counts as thrash.
+  static constexpr i64 kThrashWindow = 8;
+
  private:
   struct Entry {
-    i64 bytes = 0;           // total logical size
-    i64 device_bytes = 0;    // portion resident on device
+    i64 bytes = 0;         // total logical size
+    i64 device_bytes = 0;  // portion resident on device (prefix watermark)
+    i64 last_tick = 0;     // LRU tick of the most recent touch
+    int last_dir = 0;      // +1 h2d, -1 d2h, 0 none yet
+    i64 last_dir_event = 0;
+    bool is_read_mostly = false;
+    bool is_preferred_host = false;
+    bool dup_valid = false;  // ReadMostly duplicate currently valid
+    std::vector<u32> page_hits;
   };
+
+  Entry* find(int array_id);
+  const Entry* find(int array_id) const;
+  i64 npages(const Entry& e) const;
+  /// Pages overlapping the prefix byte range [lo, hi).
+  i64 pages_in_range(i64 lo, i64 hi) const;
+  void tick_access(Entry& e, i64 touched);
+  void note_direction(Entry& e, int dir);
+  void move_in(Entry& e, i64 bytes);
+  void move_out(Entry& e, i64 bytes);
+  /// Evict LRU pages from other arrays until under capacity.
+  void enforce_capacity(int just_touched_id);
+
   std::unordered_map<int, Entry> arrays_;
   i64 device_bytes_ = 0;
+  i64 page_bytes_ = 2 * 1024 * 1024;
+  i64 capacity_ = 0x7fffffffffffffffLL;  // effectively unlimited by default
+  i64 tick_ = 0;
+  i64 migration_events_ = 0;
   UmStats stats_;
 };
 

@@ -111,6 +111,20 @@ void MasSolver::initialize() {
   // recomputes the centered field itself, and a trailing call would fuse
   // with the one at the start of diagnostics() — two kernels writing every
   // bc* element inside one merged launch (the validator's fused-conflict).
+
+  // Unified memory with hints: advise read-duplication for the fields the
+  // host samples far more often than the device rewrites them between
+  // samples (cudaMemAdviseSetReadMostly analog) — diagnostics, checkpoint
+  // I/O and MPI staging then read a valid host replica for free. The page
+  // engine invalidates the replica on the next device write, so the advise
+  // is self-correcting and never changes physics. No-op unless the engine
+  // runs unified memory on a GPU.
+  if (engine_.config().um_hints) {
+    engine_.mem_advise(st.rho.id(), par::MemHint::AdviseReadMostly);
+    engine_.mem_advise(st.temp.id(), par::MemHint::AdviseReadMostly);
+    for (field::Field* f : st.face_b_fields())
+      engine_.mem_advise(f->id(), par::MemHint::AdviseReadMostly);
+  }
 }
 
 StepStats MasSolver::step() {

@@ -76,9 +76,11 @@ class Comm {
   /// ranks, the transfer runs on the rank's copy stream and overlaps the
   /// compute clock, which pays only the posting latency; the hidden transfer
   /// time is accounted via ClockLedger::note_hidden_mpi. Unified-memory
-  /// buffers cannot overlap — MPI must fault the pages to the host, which
-  /// serializes with compute exactly like a blocking send (the paper's
-  /// Fig. 4 mechanism).
+  /// buffers normally cannot overlap — MPI must fault the pages to the
+  /// host, which serializes with compute exactly like a blocking send (the
+  /// paper's Fig. 4 mechanism). Exception: a staging buffer advised
+  /// preferred-host with no device-resident pages (um_hints) is already
+  /// pinned host-side, so the copy engine streams it like the manual path.
   void isend(int dst, int tag, std::span<const real> data,
              gpusim::ArrayId buf);
 

@@ -76,6 +76,30 @@ HaloExchanger::HaloExchanger(par::Engine& engine, Comm& comm, const Slab& slab,
       slot.recv_hi->enter_data();
     }
   }
+  // Unified memory with hints: pin every staging buffer host-side
+  // (cudaMemAdviseSetPreferredLocation analog). Pack/unpack kernels then
+  // touch the buffers zero-copy over the host link instead of ping-ponging
+  // pages, and the MPI layer finds them host-resident — which is what lets
+  // Comm::isend overlap the staged copy (staging_overlap_eligible).
+  // mem_advise is a no-op unless the engine runs unified memory on a GPU.
+  if (engine_.config().um_hints) {
+    engine_.mem_advise(send_lo_.id(), par::MemHint::AdvisePreferredHost);
+    engine_.mem_advise(send_hi_.id(), par::MemHint::AdvisePreferredHost);
+    engine_.mem_advise(recv_lo_.id(), par::MemHint::AdvisePreferredHost);
+    engine_.mem_advise(recv_hi_.id(), par::MemHint::AdvisePreferredHost);
+    engine_.mem_advise(phi_buf_.id(), par::MemHint::AdvisePreferredHost);
+    for (auto& slot : slots_) {
+      if (!slot.send_lo) continue;
+      engine_.mem_advise(slot.send_lo->id(),
+                         par::MemHint::AdvisePreferredHost);
+      engine_.mem_advise(slot.send_hi->id(),
+                         par::MemHint::AdvisePreferredHost);
+      engine_.mem_advise(slot.recv_lo->id(),
+                         par::MemHint::AdvisePreferredHost);
+      engine_.mem_advise(slot.recv_hi->id(),
+                         par::MemHint::AdvisePreferredHost);
+    }
+  }
 }
 
 HaloExchanger::~HaloExchanger() {
@@ -163,6 +187,19 @@ void HaloExchanger::exchange_r(const std::vector<field::Field*>& fields) {
 
   pack_r(fields, send_lo_, send_hi_);
 
+  // Ghost-window host prefetch (um_hints): the recv staging buffers are
+  // about to be written host-side by MPI — page any device residue out
+  // ahead of the exchange so the delivery never faults.
+  if (engine_.config().um_hints) {
+    const i64 msg_bytes = count * static_cast<i64>(sizeof(real));
+    if (slab_.rank_below >= 0)
+      engine_.mem_prefetch(recv_lo_.id(), msg_bytes, par::Span::GhostLo,
+                           /*to_device=*/false);
+    if (slab_.rank_above >= 0)
+      engine_.mem_prefetch(recv_hi_.id(), msg_bytes, par::Span::GhostHi,
+                           /*to_device=*/false);
+  }
+
   // Buffered sends first, then blocking receives: no deadlock.
   if (slab_.rank_below >= 0) {
     comm_.send(slab_.rank_below, kTagRLo,
@@ -217,6 +254,18 @@ int HaloExchanger::begin_exchange_r(const std::vector<field::Field*>& fields) {
   par::Engine::CategoryScope mpi_scope(engine_, gpusim::TimeCategory::Mpi);
 
   pack_r(fields, *slot.send_lo, *slot.send_hi);
+
+  // Prefetch the ghost-window staging buffers host-ward before posting the
+  // nonblocking exchange (um_hints): MPI writes them from the host.
+  if (engine_.config().um_hints) {
+    const i64 msg_bytes = count * static_cast<i64>(sizeof(real));
+    if (slab_.rank_below >= 0)
+      engine_.mem_prefetch(slot.recv_lo->id(), msg_bytes, par::Span::GhostLo,
+                           /*to_device=*/false);
+    if (slab_.rank_above >= 0)
+      engine_.mem_prefetch(slot.recv_hi->id(), msg_bytes, par::Span::GhostHi,
+                           /*to_device=*/false);
+  }
 
   if (slab_.rank_below >= 0) {
     comm_.isend(slab_.rank_below, async_tag_lo(handle),

@@ -224,6 +224,35 @@ void Engine::break_fusion() { submit(StreamOp{FusionBreakOp{}}); }
 
 void Engine::device_sync() { submit(StreamOp{SyncOp{}}); }
 
+void Engine::mem_prefetch(gpusim::ArrayId id, i64 bytes, Span span,
+                          bool to_device, const KernelSite* site) {
+  if (!cfg_.gpu || !mem_.unified()) return;
+  MemHintOp op;
+  op.site = site;
+  op.id = id;
+  op.hint = to_device ? MemHint::PrefetchToDevice : MemHint::PrefetchToHost;
+  op.span = span;
+  op.bytes = bytes;
+  op.category = kernel_category_;
+  submit(StreamOp{op});
+}
+
+void Engine::mem_advise(gpusim::ArrayId id, MemHint advise,
+                        const KernelSite* site) {
+  if (!cfg_.gpu || !mem_.unified()) return;
+  if (advise != MemHint::AdviseReadMostly &&
+      advise != MemHint::AdvisePreferredHost)
+    return;
+  MemHintOp op;
+  op.site = site;
+  op.id = id;
+  op.hint = advise;
+  op.span = Span::Full;
+  op.bytes = mem_.record(id).bytes;
+  op.category = kernel_category_;
+  submit(StreamOp{op});
+}
+
 void Engine::submit(StreamOp op) {
   switch (graph_mode_) {
     case GraphMode::Capture:
@@ -355,6 +384,26 @@ telemetry::MetricsSnapshot Engine::metrics_snapshot() {
   const gpusim::UmStats& um = mem_.um_stats();
   registry_.counter("mem.bytes_migrated").set(um.h2d_bytes + um.d2h_bytes);
   registry_.counter("mem.um_migrations").set(um.migrations);
+  if (mem_.unified()) {
+    // um.*: the page engine's view. Resident bytes are a Max-merged gauge
+    // (peak across ranks); the rest are additive counters.
+    registry_.gauge("um.resident_bytes")
+        .set(static_cast<double>(mem_.um_pages().device_resident_bytes()));
+    registry_.counter("um.h2d_bytes").set(um.h2d_bytes);
+    registry_.counter("um.d2h_bytes").set(um.d2h_bytes);
+    registry_.counter("um.migrations").set(um.migrations);
+    registry_.counter("um.faults").set(um.faults);
+    registry_.counter("um.fault_batches").set(um.fault_batches);
+    registry_.counter("um.prefetches").set(um.prefetches);
+    registry_.counter("um.prefetch_bytes").set(um.prefetch_bytes);
+    registry_.counter("um.advises").set(um.advises);
+    registry_.counter("um.evictions").set(um.evictions);
+    registry_.counter("um.evicted_bytes").set(um.evicted_bytes);
+    registry_.counter("um.thrash_events").set(um.thrash_events);
+    registry_.counter("um.remote_access_bytes").set(um.remote_access_bytes);
+    registry_.counter("um.read_dup_invalidations")
+        .set(um.read_dup_invalidations);
+  }
 
   const GraphStats gs = graph_stats();
   registry_.counter("graph.captures").set(gs.captures);

@@ -157,6 +157,25 @@ class Engine {
   void break_fusion();
 
   // ------------------------------------------------------------------
+  // Modeled unified-memory hints (cudaMemPrefetchAsync / cudaMemAdvise).
+  //
+  // Recorded as MemHintOp stream ops so capture/replay, certificates and
+  // the static verifier all see them. No-ops — not even recorded — unless
+  // the engine runs Unified memory on a GPU, so manual and host streams
+  // are untouched. Hints never break fusion chains and never touch
+  // physics data; they only move modeled pages and time.
+
+  /// Prefetch `bytes` of the array toward the device (or host) ahead of
+  /// demand. `span` declares the radial footprint the prefetch intends to
+  /// cover, for the static verifier's hint-correctness rules.
+  void mem_prefetch(gpusim::ArrayId id, i64 bytes, Span span = Span::Full,
+                    bool to_device = true, const KernelSite* site = nullptr);
+  /// Apply a residency advise (AdviseReadMostly / AdvisePreferredHost);
+  /// other MemHint values are ignored. Covers the whole array.
+  void mem_advise(gpusim::ArrayId id, MemHint advise,
+                  const KernelSite* site = nullptr);
+
+  // ------------------------------------------------------------------
   // Parallel loops. body(i, j, k) is invoked for every point of r.
   template <class F>
   void for_each(const KernelSite& site, Range3 r,

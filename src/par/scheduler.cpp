@@ -24,6 +24,7 @@ void Scheduler::consume(const StreamOp& op) {
     case OpKind::FusionBreak:
       on_fusion_break(std::get<FusionBreakOp>(op));
       break;
+    case OpKind::MemHint: on_mem_hint(std::get<MemHintOp>(op)); break;
   }
 }
 
@@ -34,11 +35,44 @@ i64 Scheduler::touch_accesses(const AccessList& accesses,
     const i64 touched = std::min<i64>(cells * static_cast<i64>(sizeof(real)),
                                       ctx_.mem->record(a.id).bytes);
     bytes += touched;
-    if (ctx_.cfg->gpu)
+    if (ctx_.cfg->gpu) {
+      // Span-driven driver prefetch: move the declared footprint ahead of
+      // the launch as one batched transfer, so the demand path below finds
+      // the pages resident and no per-page fault service is charged.
+      if (ctx_.cfg->um_hints)
+        ctx_.mem->mem_prefetch(a.id, touched, /*to_device=*/true,
+                               gpusim::TimeCategory::DataMotion);
       ctx_.mem->on_device_access(a.id, touched,
-                                 gpusim::TimeCategory::DataMotion);
+                                 gpusim::TimeCategory::DataMotion, a.write);
+    }
   }
   return bytes;
+}
+
+void Scheduler::on_mem_hint(const MemHintOp& op) {
+  if (!ctx_.cfg->gpu || !ctx_.mem->unified()) return;
+  const double t0 = ctx_.ledger->now();
+  switch (op.hint) {
+    case MemHint::PrefetchToDevice:
+      ctx_.mem->mem_prefetch(op.id, op.bytes, /*to_device=*/true, op.category);
+      break;
+    case MemHint::PrefetchToHost:
+      ctx_.mem->mem_prefetch(op.id, op.bytes, /*to_device=*/false,
+                             op.category);
+      break;
+    case MemHint::AdviseReadMostly:
+      ctx_.mem->mem_advise(op.id, gpusim::UmAdvise::ReadMostly, op.category);
+      break;
+    case MemHint::AdvisePreferredHost:
+      ctx_.mem->mem_advise(op.id, gpusim::UmAdvise::PreferredHost,
+                           op.category);
+      break;
+  }
+  const double t1 = ctx_.ledger->now();
+  if (ctx_.tracer->enabled() && t1 > t0)
+    ctx_.tracer->record(t0, t1, trace::Lane::UmHint,
+                        std::string(mem_hint_name(op.hint)) + ":" +
+                            ctx_.mem->record(op.id).name);
 }
 
 void Scheduler::charge_launch_and_bytes(const KernelSite& site, i64 cells,

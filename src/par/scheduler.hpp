@@ -85,6 +85,14 @@ struct EngineConfig {
   /// consulted by the Scheduler itself — accounting per op is unchanged;
   /// only the op sequence differs. Off = synchronous golden reference.
   bool overlap_halo = false;
+  /// Span-driven unified-memory hints (cudaMemPrefetchAsync/cudaMemAdvise
+  /// analogues): the scheduler bulk-prefetches each launch's declared
+  /// access footprint ahead of the kernel (batched move, no per-page fault
+  /// service), and the halo layer pins its staging buffers host-side and
+  /// prefetches ghost spans around exchange windows. Off = the paper's
+  /// demand-paged UM penalty, unchanged. No effect unless memory == Unified
+  /// on a GPU; never changes physics.
+  bool um_hints = false;
   int host_threads = 1;          ///< real execution threads for kernels
   gpusim::DeviceSpec device = gpusim::a100_40gb();
 
@@ -173,6 +181,9 @@ class Scheduler {
   void on_array_reduce(const ArrayReduceOp& op);
   void on_sync(const SyncOp& op);
   void on_fusion_break(const FusionBreakOp& op);
+  /// UM prefetch/advise hint: drives the page engine and charges the
+  /// batched prefetch cost. Hints never break fusion chains.
+  void on_mem_hint(const MemHintOp& op);
 
   /// Sum the logical bytes the op touches and notify the memory manager
   /// (unified-memory page migration). Returns the byte total.

@@ -11,6 +11,17 @@ const char* op_kind_name(OpKind k) {
     case OpKind::ArrayReduce: return "array_reduce";
     case OpKind::Sync: return "sync";
     case OpKind::FusionBreak: return "fusion_break";
+    case OpKind::MemHint: return "mem_hint";
+  }
+  return "?";
+}
+
+const char* mem_hint_name(MemHint h) {
+  switch (h) {
+    case MemHint::PrefetchToDevice: return "prefetch_to_device";
+    case MemHint::PrefetchToHost: return "prefetch_to_host";
+    case MemHint::AdviseReadMostly: return "advise_read_mostly";
+    case MemHint::AdvisePreferredHost: return "advise_preferred_host";
   }
   return "?";
 }
@@ -21,6 +32,7 @@ OpKind op_kind(const StreamOp& op) {
     case 1: return OpKind::Reduce;
     case 2: return OpKind::ArrayReduce;
     case 3: return OpKind::Sync;
+    case 5: return OpKind::MemHint;
     default: return OpKind::FusionBreak;
   }
 }
@@ -37,6 +49,7 @@ const KernelOp* kernel_payload(const StreamOp& op) {
 }  // namespace
 
 const KernelSite* op_site(const StreamOp& op) {
+  if (const auto* m = std::get_if<MemHintOp>(&op)) return m->site;
   const KernelOp* k = kernel_payload(op);
   return k ? k->site : nullptr;
 }
@@ -47,8 +60,15 @@ i64 op_cells(const StreamOp& op) {
 }
 
 bool same_signature(const StreamOp& a, const StreamOp& b) {
-  return op_kind(a) == op_kind(b) && op_site(a) == op_site(b) &&
-         op_cells(a) == op_cells(b);
+  if (op_kind(a) != op_kind(b) || op_site(a) != op_site(b) ||
+      op_cells(a) != op_cells(b))
+    return false;
+  if (const auto* ma = std::get_if<MemHintOp>(&a)) {
+    const auto* mb = std::get_if<MemHintOp>(&b);
+    return ma->id == mb->id && ma->hint == mb->hint && ma->span == mb->span &&
+           ma->bytes == mb->bytes;
+  }
+  return true;
 }
 
 const char* span_name(Span s) {
@@ -72,6 +92,14 @@ u64 hash_op_signature(u64 h, const StreamOp& op) {
   // fixed code path, while pointer values are not stable across processes.
   fold(site != nullptr ? static_cast<u64>(site->id) + 1 : 0);
   fold(static_cast<u64>(op_cells(op)));
+  if (const auto* m = std::get_if<MemHintOp>(&op)) {
+    // Hint ops have no cells; fold their own identity so certificates
+    // distinguish streams that hint different arrays, spans, or amounts.
+    fold(static_cast<u64>(m->hint) + 1);
+    fold(static_cast<u64>(m->id) + 1);
+    fold(static_cast<u64>(m->span) + 1);
+    fold(static_cast<u64>(m->bytes));
+  }
   return h;
 }
 

@@ -89,7 +89,7 @@ inline Access out_scatter(gpusim::ArrayId id) {
 /// more than a handful of arrays; longer lists spill to the heap).
 using AccessList = SmallVec<Access, 8>;
 
-enum class OpKind { Launch, Reduce, ArrayReduce, Sync, FusionBreak };
+enum class OpKind { Launch, Reduce, ArrayReduce, Sync, FusionBreak, MemHint };
 
 const char* op_kind_name(OpKind k);
 
@@ -116,17 +116,45 @@ struct SyncOp {};
 /// Non-kernel activity (MPI call, data directive) breaking fusion chains.
 struct FusionBreakOp {};
 
-using StreamOp =
-    std::variant<LaunchOp, ReduceOp, ArrayReduceOp, SyncOp, FusionBreakOp>;
+/// What a MemHintOp asks the UM driver to do.
+enum class MemHint : unsigned char {
+  PrefetchToDevice,     ///< cudaMemPrefetchAsync toward the device
+  PrefetchToHost,       ///< cudaMemPrefetchAsync toward the host
+  AdviseReadMostly,     ///< cudaMemAdvise(ReadMostly): duplicate on read
+  AdvisePreferredHost,  ///< cudaMemAdvise(PreferredLocation = host): pin
+};
+
+const char* mem_hint_name(MemHint h);
+
+/// A modeled unified-memory hint (prefetch/advise) recorded into the
+/// stream ahead of the launches or halo windows it covers. Hint ops are
+/// pure driver directives: they never touch physics data, never break
+/// fusion chains, and only move modeled time/pages. `span` declares the
+/// radial footprint the hint intends to cover so the static verifier can
+/// match it against the next device access (a prefetch whose span does not
+/// cover the access it precedes is a diagnostic, not a silent no-op).
+struct MemHintOp {
+  const KernelSite* site = nullptr;  ///< emission site (nullable)
+  gpusim::ArrayId id = gpusim::kInvalidArray;
+  MemHint hint = MemHint::PrefetchToDevice;
+  Span span = Span::Full;
+  i64 bytes = 0;  ///< logical bytes the hint covers
+  gpusim::TimeCategory category = gpusim::TimeCategory::DataMotion;
+};
+
+using StreamOp = std::variant<LaunchOp, ReduceOp, ArrayReduceOp, SyncOp,
+                              FusionBreakOp, MemHintOp>;
 
 OpKind op_kind(const StreamOp& op);
-/// Site of a kernel op; nullptr for SyncOp / FusionBreakOp.
+/// Site of a kernel or hint op; nullptr for SyncOp / FusionBreakOp.
 const KernelSite* op_site(const StreamOp& op);
-/// Cell count of a kernel op; 0 for SyncOp / FusionBreakOp.
+/// Cell count of a kernel op; 0 for SyncOp / FusionBreakOp / MemHintOp.
 i64 op_cells(const StreamOp& op);
 
 /// Structural equality used to validate a replayed stream against its
 /// capture: same op kind, same call site, same iteration-space size.
+/// Hint ops additionally compare (array, hint, span, bytes) — two hints at
+/// the same site covering different arrays are different ops.
 bool same_signature(const StreamOp& a, const StreamOp& b);
 
 /// Fold one op's signature (kind, site id, cells) into an FNV-1a style

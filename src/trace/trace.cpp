@@ -15,6 +15,7 @@ const char* lane_name(Lane lane) {
     case Lane::MpiWait: return "mpi-wait";
     case Lane::AsyncCopy: return "async-copy";
     case Lane::Range: return "ranges";
+    case Lane::UmHint: return "um-hint";
   }
   return "?";
 }
@@ -107,10 +108,16 @@ void Recorder::render_ascii(std::ostream& os, double t0, double t1,
   for (const auto& e : events_)
     if (e.lane == Lane::Range) has_range = true;
 
-  const Lane lanes[] = {Lane::Kernel,   Lane::Migration, Lane::Transfer,
-                        Lane::MpiWait,  Lane::AsyncCopy, Lane::Range};
+  bool has_hint = false;
+  for (const auto& e : events_)
+    if (e.lane == Lane::UmHint) has_hint = true;
+
+  const Lane lanes[] = {Lane::Kernel,  Lane::Migration, Lane::Transfer,
+                        Lane::MpiWait, Lane::AsyncCopy, Lane::UmHint,
+                        Lane::Range};
   for (const Lane lane : lanes) {
     if (lane == Lane::Range && !has_range) continue;
+    if (lane == Lane::UmHint && !has_hint) continue;
     std::string row(static_cast<std::size_t>(columns), '.');
     for (const auto& e : events_) {
       if (e.lane != lane || e.t1 <= t0 || e.t0 >= t1) continue;

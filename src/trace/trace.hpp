@@ -23,9 +23,10 @@ enum class Lane {
   MpiWait,     ///< blocking in MPI (load imbalance)
   AsyncCopy,   ///< copy-stream transfers overlapping compute (isend)
   Range,       ///< NVTX-style application ranges (SIMAS_RANGE), nested
+  UmHint,      ///< modeled mem_prefetch / mem_advise ops (UM page engine)
 };
 
-inline constexpr int kLaneCount = 6;
+inline constexpr int kLaneCount = 7;
 
 const char* lane_name(Lane lane);
 

@@ -1,0 +1,337 @@
+// Unified-memory page engine tests: table-driven page-state transitions
+// (fault-in, writeback, eviction under capacity pressure, read-duplication
+// invalidation on write), fault batching, thrash detection, prefetch and
+// advise accounting, the preferred-host zero-copy path, the over-touch
+// saturation regression, and a randomized differential check that the
+// demand path stays bit-identical to the original prefix byte counter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "gpusim/unified_pages.hpp"
+
+namespace simas::gpusim {
+namespace {
+
+// Small pages make every state visible: 100-byte pages, one array.
+UnifiedPages small_pages(i64 capacity = 0x7fffffffffffffffLL) {
+  UnifiedPages um;
+  um.configure(100, capacity);
+  return um;
+}
+
+// ---------------------------------------------------------------------
+// 1. Table-driven transitions: a scripted touch sequence over one array,
+//    with the expected migrated bytes and watermark after every step.
+
+struct Step {
+  enum What { DeviceTouch, HostTouch, PrefetchDev, PrefetchHost } what;
+  i64 bytes;
+  bool write;
+  i64 want_moved;     // return value of the call
+  i64 want_resident;  // device watermark afterwards
+};
+
+void run_script(UnifiedPages& um, int id, const std::vector<Step>& script) {
+  for (size_t s = 0; s < script.size(); ++s) {
+    const Step& st = script[s];
+    SCOPED_TRACE("step " + std::to_string(s));
+    i64 moved = 0;
+    switch (st.what) {
+      case Step::DeviceTouch: moved = um.touch_device(id, st.bytes, st.write); break;
+      case Step::HostTouch: moved = um.touch_host(id, st.bytes, st.write); break;
+      case Step::PrefetchDev: moved = um.prefetch_to_device(id, st.bytes); break;
+      case Step::PrefetchHost: moved = um.prefetch_to_host(id, st.bytes); break;
+    }
+    EXPECT_EQ(moved, st.want_moved);
+    EXPECT_EQ(um.device_resident_bytes(id), st.want_resident);
+  }
+}
+
+TEST(UmPages, TableDrivenFaultInAndWriteback) {
+  UnifiedPages um = small_pages();
+  um.add_array(1, 1000);  // 10 pages
+  EXPECT_EQ(um.page_count(1), 10);
+  run_script(um, 1,
+             {
+                 {Step::DeviceTouch, 250, false, 250, 250},  // fault-in 3 pages
+                 {Step::DeviceTouch, 250, false, 0, 250},    // already resident
+                 {Step::HostTouch, 150, false, 150, 100},    // writeback
+                 {Step::DeviceTouch, 1000, false, 900, 1000},
+                 {Step::HostTouch, 1000, true, 1000, 0},
+             });
+  // Page states derive from the watermark.
+  um.touch_device(1, 250);
+  EXPECT_EQ(um.page_state(1, 0), PageState::Device);
+  EXPECT_EQ(um.page_state(1, 2), PageState::Device);  // covers [200,300)
+  EXPECT_EQ(um.page_state(1, 3), PageState::Host);
+  EXPECT_EQ(um.page_state(1, 99), PageState::Host);  // out of range
+  const UmStats& s = um.stats();
+  EXPECT_EQ(s.h2d_bytes, 250 + 900 + 250);
+  EXPECT_EQ(s.d2h_bytes, 150 + 1000);
+  EXPECT_GT(s.faults, 0);
+  EXPECT_EQ(s.prefetches, 0);
+}
+
+TEST(UmPages, TableDrivenPrefetchMovesWithoutFaults) {
+  UnifiedPages um = small_pages();
+  um.add_array(7, 500);
+  run_script(um, 7,
+             {
+                 {Step::PrefetchDev, 300, false, 300, 300},
+                 {Step::DeviceTouch, 300, false, 0, 300},  // hint covered it
+                 {Step::PrefetchDev, 300, false, 0, 300},  // idempotent
+                 {Step::PrefetchHost, 100, false, 100, 200},
+                 {Step::PrefetchHost, 500, false, 200, 0},
+             });
+  const UmStats& s = um.stats();
+  EXPECT_EQ(s.prefetches, 4);
+  EXPECT_EQ(s.prefetch_bytes, 300 + 100 + 200);
+  EXPECT_EQ(s.faults, 0);       // prefetch never fault-services
+  EXPECT_EQ(s.migrations, 0);   // ...and is not a demand migration
+  EXPECT_EQ(s.h2d_bytes, 300);  // but the bytes still count as traffic
+  EXPECT_EQ(s.d2h_bytes, 300);
+}
+
+// ---------------------------------------------------------------------
+// 2. Fault batching: one demand touch spanning several pages is a single
+//    batched fault event; a one-page touch is not a batch.
+
+TEST(UmPages, FaultBatchingCountsPagesAndBatches) {
+  UnifiedPages um = small_pages();
+  um.add_array(1, 1000);
+  um.touch_device(1, 500);  // 5 pages in one go
+  EXPECT_EQ(um.stats().faults, 5);
+  EXPECT_EQ(um.stats().fault_batches, 1);
+  EXPECT_EQ(um.stats().migrations, 1);
+  um.touch_device(1, 600);  // 1 more page
+  EXPECT_EQ(um.stats().faults, 6);
+  EXPECT_EQ(um.stats().fault_batches, 1);  // single page: no batch
+  EXPECT_EQ(um.stats().migrations, 2);
+}
+
+// ---------------------------------------------------------------------
+// 3. Eviction under capacity pressure: LRU-ish victim selection, whole
+//    pages written back, never the array whose touch is being serviced.
+
+TEST(UmPages, EvictionUnderCapacityPressure) {
+  UnifiedPages um = small_pages(/*capacity=*/300);
+  um.add_array(1, 400);
+  um.add_array(2, 400);
+  EXPECT_EQ(um.touch_device(1, 200), 200);
+  EXPECT_EQ(um.touch_device(2, 200), 200);  // 400 resident > 300 cap
+  // Array 1 (least recently touched) lost a page; array 2 kept its set.
+  EXPECT_EQ(um.device_resident_bytes(1), 100);
+  EXPECT_EQ(um.device_resident_bytes(2), 200);
+  EXPECT_EQ(um.device_resident_bytes(), 300);
+  EXPECT_EQ(um.stats().evictions, 1);
+  EXPECT_EQ(um.stats().evicted_bytes, 100);
+  EXPECT_EQ(um.stats().d2h_bytes, 100);  // eviction is writeback traffic
+}
+
+TEST(UmPages, EvictionPicksLeastRecentlyTouchedVictim) {
+  UnifiedPages um = small_pages(/*capacity=*/300);
+  um.add_array(1, 200);
+  um.add_array(2, 200);
+  um.add_array(3, 200);
+  um.touch_device(1, 100);
+  um.touch_device(2, 100);
+  um.touch_device(1, 200);  // re-touch 1: now 2 is the LRU
+  um.touch_device(3, 200);  // 100+200+200 = 500 > 300: evict 2, then 1
+  EXPECT_EQ(um.device_resident_bytes(3), 200);  // working set survives
+  EXPECT_EQ(um.device_resident_bytes(2), 0);    // LRU went first
+  EXPECT_LE(um.device_resident_bytes(), 300);
+}
+
+TEST(UmPages, OversubscriptionByOneArrayIsAccepted) {
+  // If nothing else is resident there is no victim: the working set may
+  // exceed capacity rather than evicting the pages being touched.
+  UnifiedPages um = small_pages(/*capacity=*/300);
+  um.add_array(1, 1000);
+  EXPECT_EQ(um.touch_device(1, 1000), 1000);
+  EXPECT_EQ(um.device_resident_bytes(), 1000);
+  EXPECT_EQ(um.stats().evictions, 0);
+}
+
+// ---------------------------------------------------------------------
+// 4. Thrash detection: host<->device direction flips inside the
+//    migration-event window.
+
+TEST(UmPages, ThrashDetectedOnPingPong) {
+  UnifiedPages um = small_pages();
+  um.add_array(1, 1000);
+  um.touch_device(1, 100);
+  EXPECT_EQ(um.stats().thrash_events, 0);  // first flip needs history
+  um.touch_host(1, 100);
+  EXPECT_EQ(um.stats().thrash_events, 1);
+  um.touch_device(1, 100);
+  EXPECT_EQ(um.stats().thrash_events, 2);
+}
+
+TEST(UmPages, NoThrashOutsideTheWindow) {
+  UnifiedPages um = small_pages();
+  um.add_array(1, 100);
+  um.add_array(2, 10000);
+  um.touch_device(1, 100);
+  // Blow past kThrashWindow migration events on an unrelated array.
+  for (i64 i = 0; i < UnifiedPages::kThrashWindow + 1; ++i) {
+    um.touch_device(2, (i + 1) * 100);
+    um.touch_host(2, 100);
+  }
+  const i64 before = um.stats().thrash_events;
+  um.touch_host(1, 100);  // flip, but far from array 1's last move
+  EXPECT_EQ(um.stats().thrash_events, before);
+}
+
+// ---------------------------------------------------------------------
+// 5. ReadMostly duplication: host reads free once duplicated, any write
+//    invalidates the duplicate exactly once.
+
+TEST(UmPages, ReadMostlyDuplicatesAndInvalidatesOnWrite) {
+  UnifiedPages um = small_pages();
+  um.add_array(1, 400);
+  um.advise(1, UmAdvise::ReadMostly);
+  EXPECT_TRUE(um.read_mostly(1));
+  um.touch_device(1, 400);  // read fault-in establishes the duplicate
+  EXPECT_EQ(um.page_state(1, 0), PageState::ReadDup);
+  EXPECT_EQ(um.touch_host(1, 400), 0);  // host read served by duplicate
+  EXPECT_EQ(um.stats().d2h_bytes, 0);
+  EXPECT_EQ(um.touch_host(1, 100, /*write=*/true), 100);  // write kills it
+  EXPECT_EQ(um.stats().read_dup_invalidations, 1);
+  EXPECT_EQ(um.page_state(1, 0), PageState::Device);  // plain resident now
+  EXPECT_EQ(um.touch_host(1, 300), 300);  // no duplicate: normal writeback
+}
+
+TEST(UmPages, DeviceWriteAlsoInvalidatesDuplicate) {
+  UnifiedPages um = small_pages();
+  um.add_array(1, 400);
+  um.advise(1, UmAdvise::ReadMostly);
+  um.touch_device(1, 400);
+  EXPECT_EQ(um.page_state(1, 0), PageState::ReadDup);
+  um.touch_device(1, 400, /*write=*/true);
+  EXPECT_EQ(um.stats().read_dup_invalidations, 1);
+  EXPECT_EQ(um.page_state(1, 0), PageState::Device);
+}
+
+// ---------------------------------------------------------------------
+// 6. PreferredHost: resident pages out once, then device touches are
+//    zero-copy remote accesses and prefetches toward the device are
+//    refused.
+
+TEST(UmPages, PreferredHostPinsAndRemoteAccesses) {
+  UnifiedPages um = small_pages();
+  um.add_array(1, 400);
+  um.touch_device(1, 400);
+  EXPECT_EQ(um.advise(1, UmAdvise::PreferredHost), 400);  // pages out once
+  EXPECT_TRUE(um.preferred_host(1));
+  EXPECT_EQ(um.device_resident_bytes(1), 0);
+  EXPECT_EQ(um.touch_device(1, 400), 0);  // zero-copy, nothing migrates
+  EXPECT_EQ(um.stats().remote_access_bytes, 400);
+  EXPECT_EQ(um.prefetch_to_device(1, 400), 0);  // pinned pages stay put
+  EXPECT_EQ(um.device_resident_bytes(1), 0);
+  EXPECT_EQ(um.stats().advises, 1);
+}
+
+// ---------------------------------------------------------------------
+// 7. Saturation regression: touches, prefetches and advises clamp to the
+//    array size no matter how large the requested byte count is.
+
+TEST(UmPages, OverTouchSaturatesAtArraySize) {
+  UnifiedPages um = small_pages();
+  um.add_array(2, 100);
+  EXPECT_EQ(um.touch_device(2, 1 << 20), 100);
+  EXPECT_EQ(um.device_resident_bytes(2), 100);
+  EXPECT_EQ(um.touch_device(2, 1 << 20), 0);  // no phantom re-migration
+  EXPECT_EQ(um.touch_host(2, 0x7fffffffffffffffLL), 100);
+  EXPECT_EQ(um.device_resident_bytes(2), 0);
+  EXPECT_EQ(um.prefetch_to_device(2, 1 << 30), 100);
+  EXPECT_EQ(um.prefetch_to_host(2, 1 << 30), 100);
+  EXPECT_EQ(um.stats().h2d_bytes, 200);
+  EXPECT_EQ(um.stats().d2h_bytes, 200);
+  // Negative and unknown-id touches are inert.
+  EXPECT_EQ(um.touch_device(2, -5), 0);
+  EXPECT_EQ(um.touch_device(999, 100), 0);
+  EXPECT_EQ(um.prefetch_to_device(999, 100), 0);
+  EXPECT_EQ(um.advise(999, UmAdvise::ReadMostly), 0);
+}
+
+// ---------------------------------------------------------------------
+// 8. Page metadata: counts and access counters.
+
+TEST(UmPages, PageAccessCountsTrackTouches) {
+  UnifiedPages um = small_pages();
+  um.add_array(1, 350);  // 4 pages (last partial)
+  EXPECT_EQ(um.page_count(1), 4);
+  um.touch_device(1, 150);  // pages 0,1
+  um.touch_device(1, 350);  // pages 0..3
+  EXPECT_EQ(um.page_access_count(1, 0), 2);
+  EXPECT_EQ(um.page_access_count(1, 1), 2);
+  EXPECT_EQ(um.page_access_count(1, 3), 1);
+  EXPECT_EQ(um.page_access_count(1, 4), 0);   // out of range
+  EXPECT_EQ(um.page_access_count(99, 0), 0);  // unknown id
+  EXPECT_EQ(um.page_count(99), 0);
+}
+
+// ---------------------------------------------------------------------
+// 9. Randomized differential test: with no hints in play, the page layer's
+//    demand arithmetic must stay bit-identical to the original prefix byte
+//    counter (the pre-page-engine model). Any drift here would change
+//    modeled time for every hint-free UM benchmark.
+
+struct RefCounter {  // the original ~50-line watermark model
+  i64 size = 0, resident = 0, h2d = 0, d2h = 0;
+  i64 touch_device(i64 b) {
+    const i64 t = std::min(b, size);
+    const i64 m = std::max<i64>(0, t - resident);
+    resident += m;
+    h2d += m;
+    return m;
+  }
+  i64 touch_host(i64 b) {
+    const i64 t = std::min(b, size);
+    const i64 m = std::min(t, resident);
+    resident -= m;
+    d2h += m;
+    return m;
+  }
+};
+
+TEST(UmPages, DemandPathMatchesLegacyByteCounter) {
+  std::mt19937 rng(0xC0FFEE);
+  for (int trial = 0; trial < 20; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    UnifiedPages um;
+    um.configure(1 + static_cast<i64>(rng() % 4096), 0x7fffffffffffffffLL);
+    const i64 size = 1 + static_cast<i64>(rng() % 100000);
+    um.add_array(1, size);
+    RefCounter ref;
+    ref.size = size;
+    for (int op = 0; op < 200; ++op) {
+      const i64 b = static_cast<i64>(rng() % (2 * size + 1));
+      if (rng() % 2 == 0)
+        EXPECT_EQ(um.touch_device(1, b), ref.touch_device(b));
+      else
+        EXPECT_EQ(um.touch_host(1, b), ref.touch_host(b));
+      ASSERT_EQ(um.device_resident_bytes(1), ref.resident);
+    }
+    EXPECT_EQ(um.stats().h2d_bytes, ref.h2d);
+    EXPECT_EQ(um.stats().d2h_bytes, ref.d2h);
+  }
+}
+
+// Reset clears the counters but not the residency state.
+TEST(UmPages, ResetStatsKeepsResidency) {
+  UnifiedPages um = small_pages();
+  um.add_array(1, 400);
+  um.touch_device(1, 400);
+  um.reset_stats();
+  EXPECT_EQ(um.stats().h2d_bytes, 0);
+  EXPECT_EQ(um.device_resident_bytes(1), 400);
+  EXPECT_EQ(um.touch_device(1, 400), 0);  // still resident
+}
+
+}  // namespace
+}  // namespace simas::gpusim

@@ -7,16 +7,25 @@
 // row per configuration. Any Error-severity finding makes the exit status
 // nonzero, so CI can gate on "no new diagnostics".
 //
+// Unified-memory code versions are additionally swept with um_hints on
+// (span-driven prefetch/advise), and every row reports the stream's hint
+// coverage: the percentage of modeled UM page traffic that was hint-driven
+// (batched prefetches + advised zero-copy remote access) rather than
+// demand-faulted. 0% = pure demand paging; the static verifier's hint
+// rules (prefetch-span-mismatch, use-after-evict) fire on the same sweep.
+//
 // Usage:
-//   simas_lint [--steps N] [--ranks 1,2] [--overlap 0,1] [--json FILE]
-//              [--verbose]
+//   simas_lint [--steps N] [--ranks 1,2] [--overlap 0,1] [--hints 0,1]
+//              [--json FILE] [--verbose]
 //
 //   --steps N     measured steps per configuration (default 2)
 //   --ranks LIST  comma-separated rank counts to sweep (default "1,2")
 //   --overlap L   halo modes to sweep: 0=sync, 1=overlapped (default "0,1")
+//   --hints L     um_hints modes for UM versions (default "0,1")
 //   --json FILE   also write the full report as JSON
 //   --verbose     print every diagnostic, not just per-config counts
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -47,12 +56,30 @@ std::vector<int> parse_int_list(const std::string& s) {
 struct ConfigReport {
   variants::CodeVersion version;
   bool overlap = false;
+  bool um_hints = false;
   int nranks = 0;
   i64 ops = 0;
   int errors = 0;
   int warnings = 0;
+  i64 um_prefetches = 0;
+  i64 um_advises = 0;
+  double hint_coverage_pct = 0.0;  ///< hint-driven share of UM traffic
   std::vector<analysis::Diagnostic> diagnostics;
 };
+
+/// Share of modeled UM page traffic that moved via hints (batched
+/// prefetches + advised zero-copy remote access) instead of demand faults.
+double hint_coverage(const telemetry::MetricsSnapshot& m) {
+  const double prefetched = static_cast<double>(m.counter("um.prefetch_bytes"));
+  const double remote =
+      static_cast<double>(m.counter("um.remote_access_bytes"));
+  const double demand = static_cast<double>(m.counter("um.h2d_bytes")) +
+                        static_cast<double>(m.counter("um.d2h_bytes")) -
+                        prefetched;
+  const double hinted = prefetched + remote;
+  const double total = hinted + std::max(0.0, demand);
+  return total > 0.0 ? 100.0 * hinted / total : 0.0;
+}
 
 }  // namespace
 
@@ -61,53 +88,66 @@ int main(int argc, char** argv) {
   const int steps = static_cast<int>(opt.get_int("steps", 2));
   const std::vector<int> ranks = parse_int_list(opt.get("ranks", "1,2"));
   const std::vector<int> overlaps = parse_int_list(opt.get("overlap", "0,1"));
+  const std::vector<int> hint_modes = parse_int_list(opt.get("hints", "0,1"));
   const bool verbose = opt.get_bool("verbose", false);
   const std::string json_path = opt.get("json");
 
   std::vector<ConfigReport> reports;
   for (const variants::CodeVersion v : variants::all_versions()) {
+    const bool unified =
+        variants::traits_of(v).memory == gpusim::MemoryMode::Unified;
     for (const int overlap : overlaps) {
-      for (const int nranks : ranks) {
-        bench_support::ExperimentConfig cfg;
-        cfg.version = v;
-        cfg.nranks = nranks;
-        cfg.grid = bench_support::bench_grid();
-        cfg.warmup_steps = 1;
-        cfg.measure_steps = steps;
-        cfg.overlap_halo = overlap != 0;
-        cfg.capture_stream = true;
-        const bench_support::ExperimentResult res =
-            bench_support::run_experiment(cfg);
+      for (const int hints : hint_modes) {
+        if (hints != 0 && !unified) continue;  // hints are a UM knob
+        for (const int nranks : ranks) {
+          bench_support::ExperimentConfig cfg;
+          cfg.version = v;
+          cfg.nranks = nranks;
+          cfg.grid = bench_support::bench_grid();
+          cfg.warmup_steps = 1;
+          cfg.measure_steps = steps;
+          cfg.overlap_halo = overlap != 0;
+          cfg.um_hints = hints != 0;
+          cfg.capture_stream = true;
+          const bench_support::ExperimentResult res =
+              bench_support::run_experiment(cfg);
 
-        ConfigReport cr;
-        cr.version = v;
-        cr.overlap = overlap != 0;
-        cr.nranks = nranks;
-        for (const analysis::ValidationReport& r : res.static_reports) {
-          cr.ops += r.ops_checked;
-          cr.errors += r.errors();
-          cr.warnings += r.warnings();
-          cr.diagnostics.insert(cr.diagnostics.end(), r.diagnostics.begin(),
-                                r.diagnostics.end());
+          ConfigReport cr;
+          cr.version = v;
+          cr.overlap = overlap != 0;
+          cr.um_hints = hints != 0;
+          cr.nranks = nranks;
+          for (const analysis::ValidationReport& r : res.static_reports) {
+            cr.ops += r.ops_checked;
+            cr.errors += r.errors();
+            cr.warnings += r.warnings();
+            cr.diagnostics.insert(cr.diagnostics.end(), r.diagnostics.begin(),
+                                  r.diagnostics.end());
+          }
+          cr.um_prefetches = res.metrics.counter("um.prefetches");
+          cr.um_advises = res.metrics.counter("um.advises");
+          cr.hint_coverage_pct = hint_coverage(res.metrics);
+          reports.push_back(std::move(cr));
         }
-        reports.push_back(std::move(cr));
       }
     }
   }
 
   Table table("simas_lint: static kernel-stream verification");
-  table.set_header({"version", "halo", "ranks", "ops", "errors", "warnings",
-                    "status"});
+  table.set_header({"version", "halo", "hints", "ranks", "ops", "errors",
+                    "warnings", "hint cov%", "status"});
   int total_errors = 0;
   for (const ConfigReport& cr : reports) {
     total_errors += cr.errors;
     table.row()
         .cell(variants::version_tag(cr.version))
         .cell(cr.overlap ? "overlap" : "sync")
+        .cell(cr.um_hints ? "on" : "off")
         .cell(cr.nranks)
         .cell(static_cast<long long>(cr.ops))
         .cell(cr.errors)
         .cell(cr.warnings)
+        .cell(cr.hint_coverage_pct, 1)
         .cell(cr.errors > 0 ? "FAIL"
                             : (cr.warnings > 0 ? "warn" : "clean"));
   }
@@ -117,7 +157,8 @@ int main(int argc, char** argv) {
     if (cr.diagnostics.empty()) continue;
     if (!verbose && cr.errors == 0) continue;
     std::cout << "\n" << variants::version_tag(cr.version) << " ("
-              << (cr.overlap ? "overlap" : "sync") << ", " << cr.nranks
+              << (cr.overlap ? "overlap" : "sync")
+              << (cr.um_hints ? "+hints" : "") << ", " << cr.nranks
               << " rank" << (cr.nranks == 1 ? "" : "s") << "):\n";
     for (const analysis::Diagnostic& d : cr.diagnostics) {
       if (!verbose && d.severity != analysis::Severity::Error) continue;
@@ -134,10 +175,14 @@ int main(int argc, char** argv) {
       json::Value e;
       e.set("version", variants::version_tag(cr.version));
       e.set("halo", cr.overlap ? "overlap" : "sync");
+      e.set("um_hints", cr.um_hints);
       e.set("ranks", cr.nranks);
       e.set("ops", static_cast<long long>(cr.ops));
       e.set("errors", cr.errors);
       e.set("warnings", cr.warnings);
+      e.set("um_prefetches", static_cast<long long>(cr.um_prefetches));
+      e.set("um_advises", static_cast<long long>(cr.um_advises));
+      e.set("hint_coverage_pct", cr.hint_coverage_pct);
       json::Value diags{json::Value::Array{}};
       for (const analysis::Diagnostic& d : cr.diagnostics) {
         json::Value jd;
