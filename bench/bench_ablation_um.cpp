@@ -16,7 +16,7 @@ namespace {
 
 double um_over_manual(double fault_latency_us, double staging_mult,
                       int nranks) {
-  auto device = gpusim::a100_40gb();
+  auto device = gpusim::device_spec(gpusim::DeviceClass::A100);
   device.um_fault_latency_s = fault_latency_us * 1e-6;
   device.um_staging_multiplier = staging_mult;
 

@@ -30,6 +30,7 @@ int main() {
       ExperimentConfig cfg;
       cfg.version = version;
       cfg.nranks = nranks;
+      cfg.device = gpusim::device_spec(gpusim::DeviceClass::A100);
       cfg.grid = bench_support::bench_grid();
       const auto res = run_experiment(cfg);
       double avg = 0.0, lo = 1e300, hi = -1e300;

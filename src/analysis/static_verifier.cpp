@@ -78,6 +78,8 @@ class Pass {
         model.loops == par::LoopModel::Acc && model.async_enabled && model.gpu;
     acc_fusion_ =
         model.loops == par::LoopModel::Acc && model.fusion_enabled && model.gpu;
+    honors_prefetch_ = model.honors_mem_prefetch;
+    honors_advise_ = model.honors_mem_advise;
   }
 
   ValidationReport run() {
@@ -137,9 +139,12 @@ class Pass {
     for (auto& [id, st] : arrays_) st.pending_async = false;
   }
 
+  /// `demoted` drops the finding to an Info note: used when the modeled
+  /// toolchain ignores the hint class, so the hazard the check describes
+  /// cannot cost anything under this personality.
   void diagnose(Check check, const std::string& site,
                 const std::string& array, std::string message,
-                std::string location = {}) {
+                std::string location = {}, bool demoted = false) {
     std::string key =
         std::string(check_name(check)) + '|' + site + '|' + array;
     const auto it = diag_index_.find(key);
@@ -149,7 +154,7 @@ class Pass {
     }
     Diagnostic d;
     d.check = check;
-    d.severity = check_severity(check);
+    d.severity = demoted ? Severity::Info : check_severity(check);
     d.site = site;
     d.array = array;
     d.location = std::move(location);
@@ -191,10 +196,14 @@ class Pass {
           break;
         case par::MemHint::AdvisePreferredHost:
           // Pinned host-side: device touches become zero-copy remote
-          // accesses, so "evicted" residency is the intended state.
-          st.preferred_host = true;
-          st.prefetch_pending = false;
-          st.paged_to_host = false;
+          // accesses, so "evicted" residency is the intended state. A
+          // toolchain that ignores advise leaves the array unpinned — the
+          // hint grants no exemption there.
+          if (honors_advise_) {
+            st.preferred_host = true;
+            st.prefetch_pending = false;
+            st.paged_to_host = false;
+          }
           break;
       }
       return;
@@ -294,21 +303,36 @@ class Pass {
           if (!covered) {
             diagnose(Check::PrefetchSpanMismatch, site,
                      capture_.array_name(a.id),
-                     "device prefetch span does not cover this kernel's "
-                     "declared access span: the uncovered pages still "
-                     "demand-fault, so the prefetch hides nothing — widen "
-                     "the prefetch span or match it to the access",
-                     loc);
+                     honors_prefetch_
+                         ? "device prefetch span does not cover this "
+                           "kernel's declared access span: the uncovered "
+                           "pages still demand-fault, so the prefetch hides "
+                           "nothing — widen the prefetch span or match it "
+                           "to the access"
+                         : "device prefetch span does not cover this "
+                           "kernel's declared access span (note: the "
+                           "modeled toolchain ignores prefetch hints, so "
+                           "the hint is inert and the mismatch costs "
+                           "nothing here — fix it for toolchains that "
+                           "honor it)",
+                     loc, /*demoted=*/!honors_prefetch_);
           }
           hs.prefetch_pending = false;
         } else if (hs.paged_to_host && !hs.preferred_host) {
           diagnose(Check::UseAfterEvict, site, capture_.array_name(a.id),
-                   "kernel accesses an array prefetched to the host with "
-                   "no intervening device prefetch: every touch is a fresh "
-                   "demand migration back (ping-pong) — re-prefetch to the "
-                   "device before the launch, or advise preferred-host if "
-                   "zero-copy access is intended",
-                   loc);
+                   honors_prefetch_
+                       ? "kernel accesses an array prefetched to the host "
+                         "with no intervening device prefetch: every touch "
+                         "is a fresh demand migration back (ping-pong) — "
+                         "re-prefetch to the device before the launch, or "
+                         "advise preferred-host if zero-copy access is "
+                         "intended"
+                       : "kernel accesses an array prefetched to the host "
+                         "with no intervening device prefetch (note: the "
+                         "modeled toolchain ignores prefetch hints, so no "
+                         "eviction happened and no ping-pong occurs here — "
+                         "fix it for toolchains that honor it)",
+                   loc, /*demoted=*/!honors_prefetch_);
         }
         // Either way the demand touch re-establishes device residency.
         hs.paged_to_host = false;
@@ -481,6 +505,8 @@ class Pass {
   bool unified_gpu_ = false;
   bool acc_async_ = false;
   bool acc_fusion_ = false;
+  bool honors_prefetch_ = true;
+  bool honors_advise_ = true;
 
   std::unordered_map<gpusim::ArrayId, ArrState> arrays_;
   int last_group_ = 0;

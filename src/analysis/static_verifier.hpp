@@ -44,17 +44,34 @@
 namespace simas::analysis {
 
 /// The model facts the static pass resolves from an engine configuration
-/// (the same three the runtime validator snapshots in its constructor).
+/// (the facts the runtime validator snapshots, folded with the compiler
+/// personality's lowering: a toolchain that never fuses cannot have
+/// fused-chain races, and a toolchain that ignores a hint class turns
+/// that class's correctness findings into notes).
 struct StaticModel {
   par::LoopModel loops = par::LoopModel::Acc;
   gpusim::MemoryMode memory = gpusim::MemoryMode::Manual;
   bool gpu = true;
   bool fusion_enabled = true;
   bool async_enabled = true;
+  /// Hint lowering of the modeled toolchain. When a class is ignored the
+  /// recorded MemHintOps are inert at run time, so the corresponding
+  /// hint-correctness findings (PrefetchSpanMismatch, UseAfterEvict)
+  /// downgrade to Info — the span may be wrong, but the hint buys nothing
+  /// either way under this personality.
+  bool honors_mem_prefetch = true;
+  bool honors_mem_advise = true;
 
   static StaticModel from(const par::EngineConfig& cfg) {
-    return StaticModel{cfg.loops, cfg.memory, cfg.gpu, cfg.fusion_enabled,
-                       cfg.async_enabled};
+    const par::PersonalityTraits t =
+        par::personality_traits(cfg.personality);
+    return StaticModel{cfg.loops,
+                       cfg.memory,
+                       cfg.gpu,
+                       cfg.fusion_enabled && t.fuses_acc_chains,
+                       cfg.async_enabled && t.async_launches,
+                       t.honors_mem_prefetch,
+                       t.honors_mem_advise};
   }
 };
 

@@ -94,14 +94,15 @@ mhd::SurfaceBrFn boundary_surface_br(const BoundaryConfig& b) {
 }
 
 std::string ExperimentConfig::shape_key() const {
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
-                "v%d_g%lldx%lldx%lld_s%.4f_n%d_h%d_u%d_b%016llx",
+                "v%d_g%lldx%lldx%lld_s%.4f_n%d_h%d_u%d_b%016llx_d%s_p%s",
                 static_cast<int>(version), static_cast<long long>(grid.nr),
                 static_cast<long long>(grid.nt), static_cast<long long>(grid.np),
                 grid.r_stretch, nranks, overlap_halo ? 1 : 0, um_hints ? 1 : 0,
                 static_cast<unsigned long long>(
-                    boundary.enabled ? boundary.hash() : 0ull));
+                    boundary.enabled ? boundary.hash() : 0ull),
+                device.name.c_str(), par::personality_tag(personality));
   return buf;
 }
 
@@ -201,8 +202,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   mpisim::World world(cfg.nranks);
   world.run([&](int rank) {
-    par::EngineConfig ecfg =
-        variants::engine_config(cfg.version, cfg.device, rank_threads);
+    par::EngineConfig ecfg = variants::engine_config(
+        cfg.version, cfg.device, cfg.personality, rank_threads);
     ecfg.graph_replay = cfg.graph_replay;
     ecfg.validate = cfg.validate;
     ecfg.capture_stream = cfg.capture_stream;

@@ -72,6 +72,12 @@ struct ExperimentConfig {
   variants::CodeVersion version = variants::CodeVersion::A;
   int nranks = 1;
   gpusim::DeviceSpec device = gpusim::a100_40gb();
+  /// Modeled toolchain lowering (par/compiler_personality.hpp): one axis
+  /// of the portability matrix. Nvfortran = the source paper's behavior,
+  /// and the default for every pre-matrix bench. Personalities change
+  /// modeled time and the recorded op stream only — physics is
+  /// bit-identical across the whole matrix.
+  par::CompilerPersonality personality = par::CompilerPersonality::Nvfortran;
   grid::GridConfig grid;        ///< run-scale grid (kept small)
   mhd::PhysicsConfig phys;
   int warmup_steps = 1;         ///< excluded from timing
@@ -137,8 +143,11 @@ struct ExperimentConfig {
   BoundaryFields* boundary_out = nullptr;
 
   /// Stable key describing the *shape* of the kernel stream this config
-  /// produces (version, grid, rank count, halo/graph flags, boundary
-  /// hash). Jobs with equal shape keys share captured graphs safely.
+  /// produces (version, device, personality, grid, rank count, halo/graph
+  /// flags, boundary hash). Jobs with equal shape keys share captured
+  /// graphs safely. Device and personality are key components because
+  /// they change the op stream (implicit UM, hint lowering, memory mode),
+  /// so certified ensemble runs stay sound across matrix cells.
   std::string shape_key() const;
 };
 

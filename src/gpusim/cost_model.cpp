@@ -41,9 +41,18 @@ void CostModel::set_dc_bw_penalty(double penalty) {
   dc_penalty_ = std::clamp(penalty, 0.5, 1.0);
 }
 
+namespace {
+// Floor a bandwidth denominator at 1 byte/s: a degenerate spec (zero or
+// negative bandwidth from a fuzzer or a partially-filled catalog entry)
+// must yield a huge finite time, never a NaN from 0/0.
+inline double bw_floor(double bytes_per_s) {
+  return std::max(bytes_per_s, 1.0);
+}
+}  // namespace
+
 double CostModel::effective_bw() const {
-  return spec_.effective_bw_bytes_per_s() * ws_boost_ * um_penalty_ *
-         dc_penalty_;
+  return bw_floor(spec_.effective_bw_bytes_per_s() * ws_boost_ * um_penalty_ *
+                  dc_penalty_);
 }
 
 double CostModel::kernel_time(i64 bytes, ScaleClass sc) const {
@@ -63,26 +72,28 @@ double CostModel::launch_time(bool fused, bool async, bool unified) const {
 double CostModel::um_migration_time(i64 bytes, ScaleClass sc) const {
   const double b = static_cast<double>(bytes) * scale(sc);
   if (b <= 0.0) return 0.0;
-  const double pages = std::ceil(b / spec_.um_page_bytes);
-  return pages * spec_.um_fault_latency_s +
-         b / (spec_.host_link_bw_gbs * 1.0e9);
+  const double pages = std::ceil(b / std::max(spec_.um_page_bytes, 1.0));
+  return pages * std::max(spec_.um_fault_latency_s, 0.0) +
+         b / bw_floor(spec_.host_link_bw_gbs * 1.0e9);
 }
 
 double CostModel::um_prefetch_time(i64 bytes, ScaleClass sc) const {
   const double b = static_cast<double>(bytes) * scale(sc);
   if (b <= 0.0) return 0.0;
-  return spec_.host_link_latency_s + b / (spec_.host_link_bw_gbs * 1.0e9);
+  return std::max(spec_.host_link_latency_s, 0.0) +
+         b / bw_floor(spec_.host_link_bw_gbs * 1.0e9);
 }
 
 double CostModel::um_remote_access_time(i64 bytes, ScaleClass sc) const {
   const double b = static_cast<double>(bytes) * scale(sc);
   if (b <= 0.0) return 0.0;
-  return b / (spec_.host_link_bw_gbs * 1.0e9);
+  return b / bw_floor(spec_.host_link_bw_gbs * 1.0e9);
 }
 
 double CostModel::p2p_transfer_time(i64 bytes, ScaleClass sc) const {
   const double b = static_cast<double>(bytes) * scale(sc);
-  return spec_.p2p_latency_s + b / (spec_.p2p_bw_gbs * 1.0e9);
+  return std::max(spec_.p2p_latency_s, 0.0) +
+         std::max(b, 0.0) / bw_floor(spec_.p2p_bw_gbs * 1.0e9);
 }
 
 double CostModel::host_transfer_time(i64 bytes, ScaleClass sc) const {
@@ -90,7 +101,8 @@ double CostModel::host_transfer_time(i64 bytes, ScaleClass sc) const {
   // CPU "devices" send over the network; GPU hosts copy through host DRAM.
   const double bw =
       spec_.is_cpu ? spec_.p2p_bw_gbs : std::max(spec_.host_link_bw_gbs, 50.0);
-  return spec_.p2p_latency_s + b / (bw * 1.0e9);
+  return std::max(spec_.p2p_latency_s, 0.0) +
+         std::max(b, 0.0) / bw_floor(bw * 1.0e9);
 }
 
 double CostModel::local_copy_time(i64 bytes, ScaleClass sc) const {

@@ -23,6 +23,53 @@ DeviceSpec a100_40gb() {
   return d;
 }
 
+DeviceSpec mi250x_gcd() {
+  DeviceSpec d;
+  d.name = "MI250X-GCD-64GB";
+  d.mem_bw_gbs = 1638.0;   // HBM2e peak per GCD
+  d.eff_bw_fraction = 0.62;  // achieved stencil fraction trails the A100
+  d.launch_overhead_s = 12.0e-6;
+  d.p2p_bw_gbs = 144.0;    // Infinity Fabric GPU-GPU effective
+  d.p2p_latency_s = 3.0e-6;
+  d.host_link_bw_gbs = 18.0;
+  d.host_link_latency_s = 10.0e-6;
+  d.um_page_bytes = 2.0 * 1024 * 1024;
+  d.um_fault_latency_s = 50.0e-6;
+  d.um_kernel_gap_s = 3.0e-6;
+  d.um_staging_multiplier = 4.0;
+  d.ws_boost_per_halving = 0.05;
+  d.ws_boost_cap = 1.15;
+  d.mem_bytes = 64.0e9;
+  d.is_cpu = false;
+  // The study-era ROCm Fortran toolchain has no managed allocations:
+  // unified-memory code versions fall back to host-pinned zero-copy.
+  d.um_supported = false;
+  return d;
+}
+
+DeviceSpec pvc_max1550() {
+  DeviceSpec d;
+  d.name = "PVC-Max1550-128GB";
+  d.mem_bw_gbs = 3276.0;   // both stacks' HBM2e peak
+  d.eff_bw_fraction = 0.52;  // lowest achieved fraction of the catalog
+  d.launch_overhead_s = 11.0e-6;
+  d.p2p_bw_gbs = 108.0;    // Xe-Link effective
+  d.p2p_latency_s = 3.5e-6;
+  d.host_link_bw_gbs = 26.0;  // PCIe gen5 effective
+  d.host_link_latency_s = 9.0e-6;
+  d.um_page_bytes = 2.0 * 1024 * 1024;
+  d.um_fault_latency_s = 55.0e-6;  // USM fault service is the catalog's
+                                   // most expensive
+  d.um_kernel_gap_s = 3.5e-6;
+  d.um_staging_multiplier = 5.0;
+  d.ws_boost_per_halving = 0.045;
+  d.ws_boost_cap = 1.12;
+  d.mem_bytes = 128.0e9;
+  d.is_cpu = false;
+  d.um_supported = true;
+  return d;
+}
+
 DeviceSpec epyc7742_node() {
   DeviceSpec d;
   d.name = "2x-EPYC-7742-node";
@@ -41,6 +88,41 @@ DeviceSpec epyc7742_node() {
   d.mem_bytes = 256.0e9;
   d.is_cpu = true;
   return d;
+}
+
+DeviceSpec device_spec(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::A100: return a100_40gb();
+    case DeviceClass::Mi250x: return mi250x_gcd();
+    case DeviceClass::Pvc: return pvc_max1550();
+    case DeviceClass::CpuNode: return epyc7742_node();
+  }
+  return a100_40gb();
+}
+
+const char* device_class_name(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::A100: return "a100";
+    case DeviceClass::Mi250x: return "mi250x";
+    case DeviceClass::Pvc: return "pvc";
+    case DeviceClass::CpuNode: return "cpu";
+  }
+  return "?";
+}
+
+std::vector<DeviceClass> all_device_classes() {
+  return {DeviceClass::A100, DeviceClass::Mi250x, DeviceClass::Pvc,
+          DeviceClass::CpuNode};
+}
+
+bool parse_device_class(const std::string& s, DeviceClass* out) {
+  for (const DeviceClass c : all_device_classes()) {
+    if (s == device_class_name(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace simas::gpusim

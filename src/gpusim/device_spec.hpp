@@ -1,12 +1,19 @@
 #pragma once
-// Hardware models for the platforms used in the paper's evaluation
-// (Sec. V-B): NVIDIA A100 (40 GB) GPUs on NCSA Delta, and dual-socket AMD
-// EPYC 7742 CPU nodes on SDSC Expanse.
+// Hardware models for the platforms of the paper's evaluation (Sec. V-B:
+// NVIDIA A100 40 GB on NCSA Delta, dual-socket AMD EPYC 7742 nodes on SDSC
+// Expanse) and the multi-vendor catalog of the follow-up portability study
+// (arXiv:2408.07843): an AMD MI250X-class GCD and an Intel PVC-class
+// stack, so the versions x devices x compilers matrix has real hardware
+// corners to model.
 //
 // The simulator executes all kernels on the host for *correctness*; these
 // specs only drive the *modeled* time accounting (see cost_model.hpp).
+// Every catalog entry lives here — benches must route through
+// device_spec(DeviceClass) instead of re-deriving constants inline, so the
+// specs cannot drift per call site.
 
 #include <string>
+#include <vector>
 
 #include "util/types.hpp"
 
@@ -57,6 +64,13 @@ struct DeviceSpec {
   /// True for CPU nodes (no kernel launches; MPI goes over the network).
   bool is_cpu = false;
 
+  /// Does the device's toolchain era support managed (unified) memory?
+  /// When false, arrays registered under MemoryMode::Unified are pinned
+  /// host-side at creation: device touches stream over the host link as
+  /// zero-copy remote accesses instead of migrating pages. Modeled time
+  /// only — physics never depends on residency.
+  bool um_supported = true;
+
   double effective_bw_bytes_per_s() const {
     return mem_bw_gbs * 1.0e9 * eff_bw_fraction;
   }
@@ -65,7 +79,39 @@ struct DeviceSpec {
 /// NVIDIA A100-SXM4-40GB as deployed in NCSA Delta 8-GPU nodes.
 DeviceSpec a100_40gb();
 
+/// One GCD of an AMD MI250X (Frontier/LUMI-class): higher peak HBM
+/// bandwidth than the A100 but a lower achieved stencil fraction, and a
+/// toolchain era without managed-memory support (um_supported = false).
+DeviceSpec mi250x_gcd();
+
+/// Intel Data Center GPU Max 1550 (PVC, Aurora-class): two stacks, large
+/// HBM pool, high peak bandwidth with the lowest achieved fraction of the
+/// catalog, USM-style unified memory with expensive fault service.
+DeviceSpec pvc_max1550();
+
 /// Dual-socket AMD EPYC 7742 node (SDSC Expanse): 409.5 GB/s aggregate.
 DeviceSpec epyc7742_node();
+
+/// The portability-matrix device axis (arXiv:2408.07843): one NVIDIA, one
+/// AMD, one Intel GPU class plus the many-core CPU node.
+enum class DeviceClass {
+  A100 = 0,     ///< NVIDIA A100-class (the source paper's reference)
+  Mi250x = 1,   ///< AMD MI250X-class GCD
+  Pvc = 2,      ///< Intel PVC-class stack pair
+  CpuNode = 3,  ///< many-core CPU node (Table III analogue)
+};
+
+/// Catalog lookup: the one place a DeviceClass becomes constants.
+DeviceSpec device_spec(DeviceClass c);
+
+/// Short tag for keys, tables and CLI ("a100", "mi250x", "pvc", "cpu").
+const char* device_class_name(DeviceClass c);
+
+/// All four classes in matrix order (A100 first: the reference).
+std::vector<DeviceClass> all_device_classes();
+
+/// Parse a catalog tag. Returns false and leaves *out untouched on
+/// unknown input.
+bool parse_device_class(const std::string& s, DeviceClass* out);
 
 }  // namespace simas::gpusim

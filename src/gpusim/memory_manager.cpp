@@ -34,7 +34,16 @@ ArrayId MemoryManager::register_array(std::string name, i64 bytes,
   r.scale = scale;
   r.derived_type_member = derived_type_member;
   arrays_.emplace(r.id, r);
-  if (mode_ == MemoryMode::Unified) um_.add_array(r.id, bytes);
+  if (mode_ == MemoryMode::Unified) {
+    um_.add_array(r.id, bytes);
+    // Devices whose toolchain era lacks managed memory run the unified
+    // code versions with host-pinned allocations: every device touch is a
+    // zero-copy remote access over the host link instead of a page
+    // migration. Pinning at registration costs nothing (nothing is
+    // resident yet) and only moves modeled time, never data.
+    if (cost_ != nullptr && !cost_->device().um_supported)
+      um_.advise(r.id, UmAdvise::PreferredHost);
+  }
   return r.id;
 }
 

@@ -1,0 +1,80 @@
+#include "par/compiler_personality.hpp"
+
+namespace simas::par {
+
+PersonalityTraits personality_traits(CompilerPersonality p) {
+  PersonalityTraits t;
+  t.personality = p;
+  switch (p) {
+    case CompilerPersonality::Nvfortran:
+      // The identity personality: every field keeps the pre-matrix
+      // scheduler behavior (fusion + async on, atomic 1.35, flipped-loop
+      // reduce clause, all hints honored, managed memory only where the
+      // version table says so). Golden baselines are pinned to this.
+      break;
+    case CompilerPersonality::Ifx:
+      // OpenMP-target lowering: one target region per construct (no ACC
+      // fusion chains, no async queues). Array reductions lower to tree
+      // combines — no atomic contention, but log-pass traffic — for both
+      // the atomic form and the 202X reduce clause. DC offload relies on
+      // unified shared memory, so manual-memory DC versions run managed.
+      // Prefetch hints map through; placement advice does not.
+      t.fuses_acc_chains = false;
+      t.async_launches = false;
+      t.atomic_reduce_traffic = 1.12;
+      t.reduce_clause_traffic = 1.12;
+      t.honors_mem_prefetch = true;
+      t.honors_mem_advise = false;
+      t.implicit_um_for_dc = true;
+      break;
+    case CompilerPersonality::Flang:
+      // flang-era lowering: no fusion or async, and the reduce clause
+      // falls back to atomic update blocks (worse than nvfortran's
+      // contention because every partial lands through the same RMW
+      // path). Memory-placement hints are accepted and ignored.
+      t.fuses_acc_chains = false;
+      t.async_launches = false;
+      t.atomic_reduce_traffic = 1.5;
+      t.reduce_clause_traffic = 1.5;
+      t.honors_mem_prefetch = false;
+      t.honors_mem_advise = false;
+      t.implicit_um_for_dc = false;
+      break;
+  }
+  return t;
+}
+
+const char* personality_tag(CompilerPersonality p) {
+  switch (p) {
+    case CompilerPersonality::Nvfortran: return "nvf";
+    case CompilerPersonality::Ifx: return "ifx";
+    case CompilerPersonality::Flang: return "flang";
+  }
+  return "?";
+}
+
+const char* personality_name(CompilerPersonality p) {
+  switch (p) {
+    case CompilerPersonality::Nvfortran: return "nvfortran-like";
+    case CompilerPersonality::Ifx: return "ifx-like";
+    case CompilerPersonality::Flang: return "flang-like";
+  }
+  return "?";
+}
+
+std::vector<CompilerPersonality> all_personalities() {
+  return {CompilerPersonality::Nvfortran, CompilerPersonality::Ifx,
+          CompilerPersonality::Flang};
+}
+
+bool parse_personality(const std::string& s, CompilerPersonality* out) {
+  for (const CompilerPersonality p : all_personalities()) {
+    if (s == personality_tag(p) || s == personality_name(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace simas::par

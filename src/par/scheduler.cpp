@@ -38,8 +38,10 @@ i64 Scheduler::touch_accesses(const AccessList& accesses,
     if (ctx_.cfg->gpu) {
       // Span-driven driver prefetch: move the declared footprint ahead of
       // the launch as one batched transfer, so the demand path below finds
-      // the pages resident and no per-page fault service is charged.
-      if (ctx_.cfg->um_hints)
+      // the pages resident and no per-page fault service is charged. A
+      // personality that ignores prefetch hints leaves the pages to
+      // demand-fault exactly as if hints were off.
+      if (ctx_.cfg->um_hints && traits_.honors_mem_prefetch)
         ctx_.mem->mem_prefetch(a.id, touched, /*to_device=*/true,
                                gpusim::TimeCategory::DataMotion);
       ctx_.mem->on_device_access(a.id, touched,
@@ -51,6 +53,14 @@ i64 Scheduler::touch_accesses(const AccessList& accesses,
 
 void Scheduler::on_mem_hint(const MemHintOp& op) {
   if (!ctx_.cfg->gpu || !ctx_.mem->unified()) return;
+  // Hint lowering is a personality trait: a toolchain that ignores a hint
+  // class accepts the call and does nothing — no page state change, no
+  // time. The op stays in the recorded stream either way (the source is
+  // the same; certificates are keyed by personality).
+  const bool is_advise = op.hint == MemHint::AdviseReadMostly ||
+                         op.hint == MemHint::AdvisePreferredHost;
+  if (is_advise ? !traits_.honors_mem_advise : !traits_.honors_mem_prefetch)
+    return;
   const double t0 = ctx_.ledger->now();
   switch (op.hint) {
     case MemHint::PrefetchToDevice:
@@ -163,19 +173,23 @@ void Scheduler::on_fusion_break(const FusionBreakOp&) {
 // AccScheduler: kernel fusion + async gap hiding (paper Sec. IV-B).
 
 bool AccScheduler::fuse_with_previous(const LaunchOp& op) const {
+  // Fusion chains exist only where the toolchain merges consecutive ACC
+  // regions (nvfortran); OpenMP-target lowerings launch one region per
+  // construct regardless of the fusion-group annotations.
   return ctx_.cfg->gpu && ctx_.cfg->fusion_enabled &&
-         op.site->fusion_group != 0 &&
+         traits_.fuses_acc_chains && op.site->fusion_group != 0 &&
          op.site->fusion_group == last_fusion_group_;
 }
 
 bool AccScheduler::launch_async(const LaunchOp& op) const {
-  return ctx_.cfg->gpu && ctx_.cfg->async_enabled && op.site->async_capable;
+  return ctx_.cfg->gpu && ctx_.cfg->async_enabled &&
+         traits_.async_launches && op.site->async_capable;
 }
 
 double AccScheduler::array_reduce_traffic_factor() const {
   // Atomic-update array reductions (paper Listing 3) pay extra memory
-  // traffic for the read-modify-write contention.
-  return ctx_.cfg->gpu ? 1.35 : 1.0;
+  // traffic; how much is a lowering choice (nvfortran contention: 1.35).
+  return ctx_.cfg->gpu ? traits_.atomic_reduce_traffic : 1.0;
 }
 
 // ---------------------------------------------------------------------
@@ -187,7 +201,9 @@ bool DcScheduler::fuse_with_previous(const LaunchOp&) const { return false; }
 bool DcScheduler::launch_async(const LaunchOp&) const { return false; }
 
 double DcScheduler::array_reduce_traffic_factor() const {
-  return ctx_.cfg->gpu ? 1.35 : 1.0;
+  // DC (F2018) array reductions stay atomic-update; the contention cost
+  // follows the personality's atomic lowering.
+  return ctx_.cfg->gpu ? traits_.atomic_reduce_traffic : 1.0;
 }
 
 // ---------------------------------------------------------------------
@@ -200,7 +216,11 @@ bool Dc2xScheduler::fuse_with_previous(const LaunchOp&) const {
 
 bool Dc2xScheduler::launch_async(const LaunchOp&) const { return false; }
 
-double Dc2xScheduler::array_reduce_traffic_factor() const { return 1.0; }
+double Dc2xScheduler::array_reduce_traffic_factor() const {
+  // The 202X reduce clause: nvfortran flips the loop (paper Listing 5,
+  // factor 1.0); other toolchains lower it to trees or atomic blocks.
+  return ctx_.cfg->gpu ? traits_.reduce_clause_traffic : 1.0;
+}
 
 std::unique_ptr<Scheduler> make_scheduler(LoopModel m, SchedulerContext ctx) {
   switch (m) {

@@ -27,6 +27,7 @@
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/memory_manager.hpp"
+#include "par/compiler_personality.hpp"
 #include "par/stream.hpp"
 #include "telemetry/engine_metrics.hpp"
 #include "telemetry/profiler.hpp"
@@ -95,6 +96,12 @@ struct EngineConfig {
   bool um_hints = false;
   int host_threads = 1;          ///< real execution threads for kernels
   gpusim::DeviceSpec device = gpusim::a100_40gb();
+  /// How the modeled toolchain lowers loops, reductions and hints
+  /// (par/compiler_personality.hpp). Nvfortran is the identity: it
+  /// reproduces the pre-matrix scheduler arithmetic exactly. Personalities
+  /// gate scheduler policy and hint lowering only — one kernel body per
+  /// launch under every personality, so physics never changes.
+  CompilerPersonality personality = CompilerPersonality::Nvfortran;
 
   // ---- Re-entrancy / service-layer wiring (see par/sim_context.hpp) ----
   /// Context the engine runs under: environment snapshot, site table,
@@ -147,7 +154,8 @@ struct SchedulerContext {
 
 class Scheduler {
  public:
-  explicit Scheduler(SchedulerContext ctx) : ctx_(ctx) {}
+  explicit Scheduler(SchedulerContext ctx)
+      : ctx_(ctx), traits_(personality_traits(ctx.cfg->personality)) {}
   virtual ~Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -194,6 +202,8 @@ class Scheduler {
                                gpusim::TimeCategory category);
 
   SchedulerContext ctx_;
+  /// Lowering traits of cfg->personality, resolved once at construction.
+  PersonalityTraits traits_;
   int last_fusion_group_ = 0;
   bool replay_active_ = false;
   double replay_launch_saved_ = 0.0;

@@ -166,6 +166,27 @@ par::EngineConfig engine_config(CodeVersion v, gpusim::DeviceSpec device,
   return cfg;
 }
 
+par::EngineConfig engine_config(CodeVersion v, gpusim::DeviceSpec device,
+                                par::CompilerPersonality personality,
+                                int host_threads) {
+  const VersionTraits t = traits_of(v);
+  const par::PersonalityTraits pt = par::personality_traits(personality);
+  par::EngineConfig cfg =
+      engine_config(v, std::move(device), host_threads);
+  cfg.personality = personality;
+  // Implicit unified memory: some toolchains' DC offload relies on
+  // unified shared memory, so a manual-memory version that uses DC loops
+  // runs managed anyway (the nomanaged flag of Table I has no analogue).
+  // Pure-OpenACC and CPU configurations keep their declared mode. The
+  // memory mode changes modeled paging and the recorded event stream —
+  // which is why certificate scopes key on the personality — but kernels
+  // execute identically, so physics is untouched.
+  if (pt.implicit_um_for_dc && cfg.gpu && t.loops != par::LoopModel::Acc &&
+      cfg.memory == gpusim::MemoryMode::Manual)
+    cfg.memory = gpusim::MemoryMode::Unified;
+  return cfg;
+}
+
 std::vector<CodeVersion> all_versions() {
   return {CodeVersion::Cpu, CodeVersion::A,     CodeVersion::AD,
           CodeVersion::ADU, CodeVersion::AD2XU, CodeVersion::D2XU,

@@ -54,8 +54,19 @@ struct VersionTraits {
 VersionTraits traits_of(CodeVersion v);
 
 /// Engine configuration for the version on `device` with `host_threads`
-/// real execution threads.
+/// real execution threads, as the Nvfortran personality (the source
+/// paper's toolchain) would build it.
 par::EngineConfig engine_config(CodeVersion v, gpusim::DeviceSpec device,
+                                int host_threads = 1);
+
+/// Portability-matrix variant: the same version built by `personality`.
+/// Applies the personality's implicit-UM default (ifx-like DC offload
+/// runs managed even for manual-memory versions) on top of the version
+/// table; scheduler-level lowering differences are gated inside the
+/// schedulers by EngineConfig::personality. Nvfortran reproduces the
+/// two-argument overload exactly.
+par::EngineConfig engine_config(CodeVersion v, gpusim::DeviceSpec device,
+                                par::CompilerPersonality personality,
                                 int host_threads = 1);
 
 /// All seven versions in paper order.

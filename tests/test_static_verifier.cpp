@@ -460,5 +460,111 @@ TEST(Certificates, PublishRefusesUncleanOrUnscopedCertificates) {
   EXPECT_EQ(cache.stats().cert_duplicates, 1);
 }
 
+// ---------------------------------------------------------------------
+// 6. Compiler personalities (the portability matrix's toolchain axis).
+//    Personalities change what the analyzer may assume about lowering:
+//    an atomic-block reduction is protected under every personality, and
+//    a toolchain that ignores prefetch hints turns the hint-correctness
+//    findings into Info notes.
+
+// A same-element accumulation at an AtomicUpdate site is the lowering
+// every personality uses for array reductions it cannot tree-reduce
+// (atomic_reduce_traffic); the declared protection must silence
+// DuplicateWrite in both analyses, under every personality.
+TEST(Personalities, AtomicBlockAccumulationNeverTripsDuplicateWrite) {
+  for (const par::CompilerPersonality p : par::all_personalities()) {
+    par::EngineConfig cfg = capture_config();
+    cfg.personality = p;
+    par::Engine eng(cfg);
+    field::Field f(eng, "sv_pers_atomic", 4, 4, 4);
+    f.enter_data();
+    static const par::KernelSite& site =
+        SIMAS_SITE("sv_pers_atomic_w", SiteKind::AtomicUpdate, 0);
+    eng.for_each(site, par::Range3{0, 4, 0, 4, 0, 4},
+                 {par::in(f.id()), par::out_scatter(f.id())},
+                 [&](idx, idx, idx) { f(0, 0, 0) += 1.0; });
+    const ValidationReport st = eng.static_verify();
+    const ValidationReport rt = eng.take_validation_report();
+    EXPECT_FALSE(st.has(Check::DuplicateWrite))
+        << par::personality_name(p) << ":\n"
+        << st.to_string();
+    EXPECT_FALSE(rt.has(Check::DuplicateWrite))
+        << par::personality_name(p) << ":\n"
+        << rt.to_string();
+    scrub(eng, {&f});
+  }
+}
+
+// Control: the identical scatter accumulation at a plain parallel-loop
+// site IS the illegal-DC hazard — no personality may excuse it.
+TEST(Personalities, PlainLoopScatterStillTripsDuplicateWriteEverywhere) {
+  for (const par::CompilerPersonality p : par::all_personalities()) {
+    par::EngineConfig cfg = capture_config();
+    cfg.personality = p;
+    par::Engine eng(cfg);
+    field::Field f(eng, "sv_pers_plain", 4, 4, 4);
+    f.enter_data();
+    static const par::KernelSite& site =
+        SIMAS_SITE("sv_pers_plain_w", SiteKind::ParallelLoop, 0);
+    eng.for_each(site, par::Range3{0, 4, 0, 4, 0, 4},
+                 {par::out_scatter(f.id())}, [&](idx i, idx j, idx k) {
+                   f(0, 0, 0) = static_cast<real>(i + j + k);
+                 });
+    const ValidationReport st = eng.static_verify();
+    EXPECT_TRUE(st.has(Check::DuplicateWrite)) << par::personality_name(p);
+    (void)eng.take_validation_report();
+    scrub(eng, {&f});
+  }
+}
+
+// A toolchain that ignores prefetch hints (flang-like) makes a
+// wrong-span prefetch inert: the finding must survive as an Info note —
+// visible, but neither a warning nor an error.
+TEST(Personalities, IgnoredPrefetchDowngradesSpanMismatchToNote) {
+  par::EngineConfig cfg = capture_config();
+  cfg.memory = gpusim::MemoryMode::Unified;
+  cfg.personality = par::CompilerPersonality::Flang;
+  par::Engine eng(cfg);
+  field::Field f(eng, "sv_pers_span", 4, 4, 4, 1);
+  eng.mem_prefetch(f.id(), eng.memory().record(f.id()).bytes,
+                   par::Span::Interior);
+  static const par::KernelSite& site =
+      SIMAS_SITE("sv_pers_span_r", SiteKind::ParallelLoop, 0);
+  real sum = 0.0;
+  eng.for_each(site, par::Range3{0, 4, 0, 4, 0, 4}, {par::in(f.id())},
+               [&](idx i, idx j, idx k) { sum += f(i, j, k); });
+  const ValidationReport st = eng.static_verify();
+  EXPECT_TRUE(st.has(Check::PrefetchSpanMismatch)) << st.to_string();
+  EXPECT_EQ(st.errors(), 0) << st.to_string();
+  EXPECT_EQ(st.warnings(), 0) << st.to_string();  // demoted to Info
+  for (const analysis::Diagnostic& d : st.diagnostics)
+    if (d.check == Check::PrefetchSpanMismatch)
+      EXPECT_EQ(d.severity, analysis::Severity::Info);
+  (void)eng.take_validation_report();
+  scrub(eng, {&f});
+}
+
+// The same stream under the hint-honoring default keeps the Warning:
+// the downgrade is a personality fact, not a blanket softening.
+TEST(Personalities, HonoredPrefetchKeepsSpanMismatchAsWarning) {
+  par::EngineConfig cfg = capture_config();
+  cfg.memory = gpusim::MemoryMode::Unified;
+  cfg.personality = par::CompilerPersonality::Nvfortran;
+  par::Engine eng(cfg);
+  field::Field f(eng, "sv_pers_span_w", 4, 4, 4, 1);
+  eng.mem_prefetch(f.id(), eng.memory().record(f.id()).bytes,
+                   par::Span::Interior);
+  static const par::KernelSite& site =
+      SIMAS_SITE("sv_pers_span_w_r", SiteKind::ParallelLoop, 0);
+  real sum = 0.0;
+  eng.for_each(site, par::Range3{0, 4, 0, 4, 0, 4}, {par::in(f.id())},
+               [&](idx i, idx j, idx k) { sum += f(i, j, k); });
+  const ValidationReport st = eng.static_verify();
+  EXPECT_TRUE(st.has(Check::PrefetchSpanMismatch)) << st.to_string();
+  EXPECT_GE(st.warnings(), 1) << st.to_string();
+  (void)eng.take_validation_report();
+  scrub(eng, {&f});
+}
+
 }  // namespace
 }  // namespace simas

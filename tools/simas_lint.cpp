@@ -14,14 +14,25 @@
 // demand-faulted. 0% = pure demand paging; the static verifier's hint
 // rules (prefetch-span-mismatch, use-after-evict) fire on the same sweep.
 //
+// With --matrix the sweep gains the two portability axes: every device
+// class in the catalog (gpusim::all_device_classes) x every compiler
+// personality (par::all_personalities). Each cell re-verifies the stream
+// that configuration actually records — implicit-UM personalities flip
+// Manual DC versions to Unified, hint-ignoring personalities demote the
+// hint-correctness findings to notes — so the exit status certifies the
+// whole matrix, not just the nvfortran/A100 column. To keep the cell
+// count bounded, matrix mode defaults to --ranks 2 --overlap 1.
+//
 // Usage:
 //   simas_lint [--steps N] [--ranks 1,2] [--overlap 0,1] [--hints 0,1]
-//              [--json FILE] [--verbose]
+//              [--matrix] [--json FILE] [--verbose]
 //
 //   --steps N     measured steps per configuration (default 2)
 //   --ranks LIST  comma-separated rank counts to sweep (default "1,2")
 //   --overlap L   halo modes to sweep: 0=sync, 1=overlapped (default "0,1")
 //   --hints L     um_hints modes for UM versions (default "0,1")
+//   --matrix      sweep device classes x compiler personalities too
+//                 (defaults become --ranks 2 --overlap 1)
 //   --json FILE   also write the full report as JSON
 //   --verbose     print every diagnostic, not just per-config counts
 
@@ -35,6 +46,8 @@
 
 #include "analysis/diagnostics.hpp"
 #include "bench_support/run_experiment.hpp"
+#include "gpusim/device_spec.hpp"
+#include "par/compiler_personality.hpp"
 #include "util/json.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -55,6 +68,8 @@ std::vector<int> parse_int_list(const std::string& s) {
 
 struct ConfigReport {
   variants::CodeVersion version;
+  gpusim::DeviceClass device = gpusim::DeviceClass::A100;
+  par::CompilerPersonality personality = par::CompilerPersonality::Nvfortran;
   bool overlap = false;
   bool um_hints = false;
   int nranks = 0;
@@ -85,63 +100,99 @@ double hint_coverage(const telemetry::MetricsSnapshot& m) {
 
 int main(int argc, char** argv) {
   const Options opt(argc, argv);
+  const bool matrix = opt.get_bool("matrix", false);
   const int steps = static_cast<int>(opt.get_int("steps", 2));
-  const std::vector<int> ranks = parse_int_list(opt.get("ranks", "1,2"));
-  const std::vector<int> overlaps = parse_int_list(opt.get("overlap", "0,1"));
+  const std::vector<int> ranks =
+      parse_int_list(opt.get("ranks", matrix ? "2" : "1,2"));
+  const std::vector<int> overlaps =
+      parse_int_list(opt.get("overlap", matrix ? "1" : "0,1"));
   const std::vector<int> hint_modes = parse_int_list(opt.get("hints", "0,1"));
   const bool verbose = opt.get_bool("verbose", false);
   const std::string json_path = opt.get("json");
 
+  const std::vector<gpusim::DeviceClass> devices =
+      matrix ? gpusim::all_device_classes()
+             : std::vector<gpusim::DeviceClass>{gpusim::DeviceClass::A100};
+  const std::vector<par::CompilerPersonality> personalities =
+      matrix ? par::all_personalities()
+             : std::vector<par::CompilerPersonality>{
+                   par::CompilerPersonality::Nvfortran};
+
   std::vector<ConfigReport> reports;
   for (const variants::CodeVersion v : variants::all_versions()) {
-    const bool unified =
-        variants::traits_of(v).memory == gpusim::MemoryMode::Unified;
-    for (const int overlap : overlaps) {
-      for (const int hints : hint_modes) {
-        if (hints != 0 && !unified) continue;  // hints are a UM knob
-        for (const int nranks : ranks) {
-          bench_support::ExperimentConfig cfg;
-          cfg.version = v;
-          cfg.nranks = nranks;
-          cfg.grid = bench_support::bench_grid();
-          cfg.warmup_steps = 1;
-          cfg.measure_steps = steps;
-          cfg.overlap_halo = overlap != 0;
-          cfg.um_hints = hints != 0;
-          cfg.capture_stream = true;
-          const bench_support::ExperimentResult res =
-              bench_support::run_experiment(cfg);
+    for (const gpusim::DeviceClass dc : devices) {
+      for (const par::CompilerPersonality p : personalities) {
+        // "Unified" must be what this cell actually runs: implicit-UM
+        // personalities flip Manual DC versions to managed memory.
+        const bool unified =
+            variants::engine_config(v, gpusim::device_spec(dc), p).memory ==
+            gpusim::MemoryMode::Unified;
+        for (const int overlap : overlaps) {
+          for (const int hints : hint_modes) {
+            if (hints != 0 && !unified) continue;  // hints are a UM knob
+            for (const int nranks : ranks) {
+              bench_support::ExperimentConfig cfg;
+              cfg.version = v;
+              cfg.nranks = nranks;
+              cfg.device = gpusim::device_spec(dc);
+              cfg.personality = p;
+              cfg.grid = bench_support::bench_grid();
+              cfg.warmup_steps = 1;
+              cfg.measure_steps = steps;
+              cfg.overlap_halo = overlap != 0;
+              cfg.um_hints = hints != 0;
+              cfg.capture_stream = true;
+              const bench_support::ExperimentResult res =
+                  bench_support::run_experiment(cfg);
 
-          ConfigReport cr;
-          cr.version = v;
-          cr.overlap = overlap != 0;
-          cr.um_hints = hints != 0;
-          cr.nranks = nranks;
-          for (const analysis::ValidationReport& r : res.static_reports) {
-            cr.ops += r.ops_checked;
-            cr.errors += r.errors();
-            cr.warnings += r.warnings();
-            cr.diagnostics.insert(cr.diagnostics.end(), r.diagnostics.begin(),
-                                  r.diagnostics.end());
+              ConfigReport cr;
+              cr.version = v;
+              cr.device = dc;
+              cr.personality = p;
+              cr.overlap = overlap != 0;
+              cr.um_hints = hints != 0;
+              cr.nranks = nranks;
+              for (const analysis::ValidationReport& r : res.static_reports) {
+                cr.ops += r.ops_checked;
+                cr.errors += r.errors();
+                cr.warnings += r.warnings();
+                cr.diagnostics.insert(cr.diagnostics.end(),
+                                      r.diagnostics.begin(),
+                                      r.diagnostics.end());
+              }
+              cr.um_prefetches = res.metrics.counter("um.prefetches");
+              cr.um_advises = res.metrics.counter("um.advises");
+              cr.hint_coverage_pct = hint_coverage(res.metrics);
+              reports.push_back(std::move(cr));
+            }
           }
-          cr.um_prefetches = res.metrics.counter("um.prefetches");
-          cr.um_advises = res.metrics.counter("um.advises");
-          cr.hint_coverage_pct = hint_coverage(res.metrics);
-          reports.push_back(std::move(cr));
         }
       }
     }
   }
 
-  Table table("simas_lint: static kernel-stream verification");
-  table.set_header({"version", "halo", "hints", "ranks", "ops", "errors",
-                    "warnings", "hint cov%", "status"});
+  Table table(matrix
+                  ? "simas_lint: static verification, portability matrix"
+                  : "simas_lint: static kernel-stream verification");
+  std::vector<std::string> header{"version"};
+  if (matrix) {
+    header.push_back("device");
+    header.push_back("pers");
+  }
+  for (const char* col : {"halo", "hints", "ranks", "ops", "errors",
+                          "warnings", "hint cov%", "status"})
+    header.push_back(col);
+  table.set_header(header);
   int total_errors = 0;
   for (const ConfigReport& cr : reports) {
     total_errors += cr.errors;
-    table.row()
-        .cell(variants::version_tag(cr.version))
-        .cell(cr.overlap ? "overlap" : "sync")
+    auto row = table.row();
+    row.cell(variants::version_tag(cr.version));
+    if (matrix) {
+      row.cell(gpusim::device_class_name(cr.device));
+      row.cell(par::personality_tag(cr.personality));
+    }
+    row.cell(cr.overlap ? "overlap" : "sync")
         .cell(cr.um_hints ? "on" : "off")
         .cell(cr.nranks)
         .cell(static_cast<long long>(cr.ops))
@@ -156,8 +207,11 @@ int main(int argc, char** argv) {
   for (const ConfigReport& cr : reports) {
     if (cr.diagnostics.empty()) continue;
     if (!verbose && cr.errors == 0) continue;
-    std::cout << "\n" << variants::version_tag(cr.version) << " ("
-              << (cr.overlap ? "overlap" : "sync")
+    std::cout << "\n" << variants::version_tag(cr.version) << " (";
+    if (matrix)
+      std::cout << gpusim::device_class_name(cr.device) << "/"
+                << par::personality_tag(cr.personality) << ", ";
+    std::cout << (cr.overlap ? "overlap" : "sync")
               << (cr.um_hints ? "+hints" : "") << ", " << cr.nranks
               << " rank" << (cr.nranks == 1 ? "" : "s") << "):\n";
     for (const analysis::Diagnostic& d : cr.diagnostics) {
@@ -169,11 +223,14 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     json::Value root;
     root.set("tool", "simas_lint");
+    root.set("matrix", matrix);
     root.set("total_errors", total_errors);
     json::Value arr{json::Value::Array{}};
     for (const ConfigReport& cr : reports) {
       json::Value e;
       e.set("version", variants::version_tag(cr.version));
+      e.set("device", gpusim::device_class_name(cr.device));
+      e.set("personality", par::personality_tag(cr.personality));
       e.set("halo", cr.overlap ? "overlap" : "sync");
       e.set("um_hints", cr.um_hints);
       e.set("ranks", cr.nranks);
