@@ -24,22 +24,40 @@
 //   bench_ensemble [--jobs=1000] [--shapes=8] [--workers=4] [--nranks=2]
 //                  [--steps=2] [--warmup=1] [--queue-capacity=jobs]
 //                  [--cold-jobs=auto] [--min-speedup=2.0]
-//                  [--out=BENCH_ensemble.json]
+//                  [--out=BENCH_ensemble.json] [--trace] [--introspect]
+//                  [--span-jobs=64]
 //
 // Wall-clock throughput/latency numbers are machine-dependent; the JSON
 // gate (tools/perf_tolerances.json) skips them and compares only the
 // deterministic fields (job/cache counts, modeled physics timings,
 // identity flags).
+//
+// Observability (ISSUE 10): --trace mints a TraceContext per job and adds
+// a hard gate — every job's span tree must be complete (all phases
+// present, child phases summing to the modeled wall time within 1e-6
+// relative) or the bench exits nonzero. Per-job latency-attribution
+// records land in the JSON (first --span-jobs per regime, gated by the
+// *attribution* tolerance rule) and the first few warm jobs' span trees
+// are exported as one-track-per-job Perfetto JSON next to --out.
+// --introspect starts the live TCP introspection surface
+// (/healthz /metrics /jobs) on an ephemeral localhost port for the warm
+// and certified batches. A physics divergence triggers a flight-recorder
+// dump when SIMAS_FLIGHT_DUMP is set.
 
 #include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_support/run_experiment.hpp"
+#include "service/introspection.hpp"
 #include "service/job_server.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/perfetto.hpp"
+#include "telemetry/span_tree.hpp"
 #include "util/json.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -135,6 +153,11 @@ struct PhaseStats {
   i64 graph_cache_hits = 0;
   i64 rejected = 0;
   bool physics_identical = true;
+  /// Span records for every completed job, in id order (the per-job
+  /// latency attribution; also feeds the --trace completeness gate).
+  std::vector<telemetry::JobSpanRecord> spans;
+  bool spans_complete = true;
+  std::string span_err;  ///< first completeness violation, for the log
 };
 
 double percentile(std::vector<double> v, double p) {
@@ -195,7 +218,24 @@ PhaseStats serve_batch(service::JobServer& server, int njobs,
       std::cerr << phase << ": job " << r.id << " NOT bit-identical to the "
                 << "serial reference: " << why << "\n";
       stats.physics_identical = false;
+      // Physics divergence is a flight-recorder dump trigger: the ring
+      // holds the stream/halo/data events leading up to this job.
+      const std::string& dump = server.context().env().flight_dump;
+      if (!dump.empty()) {
+        telemetry::FlightRecorder& fr = telemetry::FlightRecorder::process();
+        fr.note(telemetry::FlightNote::PhysicsDivergence,
+                r.spans.ctx.trace_id, r.id);
+        fr.dump_to_file(dump, "physics_divergence");
+      }
     }
+    std::string span_why;
+    if (!r.spans.complete(1e-6, &span_why)) {
+      stats.spans_complete = false;
+      if (stats.span_err.empty())
+        stats.span_err =
+            "job " + std::to_string(r.id) + ": " + span_why;
+    }
+    stats.spans.push_back(r.spans);
   }
   if (static_cast<int>(results.size()) != njobs) {
     std::cerr << phase << ": " << results.size() << " results for " << njobs
@@ -228,6 +268,12 @@ int main(int argc, char** argv) {
       "cold-jobs", std::min(jobs, std::max(2 * nshapes, 4 * workers))));
   const double min_speedup = opts.get_double("min-speedup", 2.0);
   const std::string out = opts.get("out", "BENCH_ensemble.json");
+  const bool trace = opts.get_bool("trace", false);
+  const bool introspect = opts.get_bool("introspect", false);
+  // How many per-job attribution records each regime embeds in the JSON
+  // (in job-id order; the completeness gate still checks every job).
+  const auto span_jobs =
+      static_cast<std::size_t>(opts.get_int("span-jobs", 64));
 
   std::cout << "ensemble serving: " << jobs << " jobs over " << nshapes
             << " boundary shapes, " << workers << " workers, " << nranks
@@ -265,6 +311,7 @@ int main(int argc, char** argv) {
   cold_cfg.enable_field_cache = false;
   cold_cfg.enable_graph_cache = false;
   cold_cfg.autostart = false;
+  cold_cfg.trace = trace;
   PhaseStats cold;
   {
     service::JobServer server(cold_cfg);
@@ -281,6 +328,12 @@ int main(int argc, char** argv) {
   i64 prewarm_count = 0;
   {
     service::JobServer server(warm_cfg);
+    std::unique_ptr<service::IntrospectionServer> scope;
+    if (introspect) {
+      scope = std::make_unique<service::IntrospectionServer>(server);
+      std::cout << "introspection surface (warm batch): http://127.0.0.1:"
+                << scope->port() << "/{healthz,metrics,jobs}\n";
+    }
     for (int s = 0; s < nshapes; ++s) {
       service::JobDescription desc;
       desc.id = s;
@@ -314,6 +367,9 @@ int main(int argc, char** argv) {
   i64 cert_hits = 0;
   {
     service::JobServer server(cert_cfg);
+    std::unique_ptr<service::IntrospectionServer> scope;
+    if (introspect)
+      scope = std::make_unique<service::IntrospectionServer>(server);
     for (int pass = 0; pass < 2; ++pass) {
       for (int s = 0; s < nshapes; ++s) {
         service::JobDescription desc;
@@ -390,6 +446,23 @@ int main(int argc, char** argv) {
   std::cout << "physics vs serial reference: "
             << (identical ? "bit-identical" : "MISMATCH") << "\n";
 
+  // Span-tree completeness gate (--trace): every job of every regime must
+  // have yielded a complete span tree whose child phases sum to the
+  // modeled wall time within 1e-6 relative.
+  const bool spans_ok = cold.spans_complete && warm.spans_complete &&
+                        certified.spans_complete;
+  if (trace) {
+    const auto total_spans =
+        cold.spans.size() + warm.spans.size() + certified.spans.size();
+    std::cout << "span trees: " << total_spans << " jobs, "
+              << (spans_ok ? "all complete (phase sums within 1e-6)"
+                           : "INCOMPLETE")
+              << "\n";
+    for (const PhaseStats* p : {&cold, &warm, &certified})
+      if (!p->span_err.empty())
+        std::cerr << "span gate: " << p->span_err << "\n";
+  }
+
   // JSON result. Deterministic fields (counts, modeled minutes, identity
   // flags) are gated by perf_check; wall-clock fields are skipped by the
   // *runs_per_hour* / *latency* / *speedup* tolerance rules.
@@ -403,7 +476,7 @@ int main(int argc, char** argv) {
     o.emplace_back("modeled_wall_minutes_warm", ref.warm.wall_minutes);
     shapes_arr.as_array().push_back(std::move(v));
   }
-  auto phase_json = [](const PhaseStats& p) {
+  auto phase_json = [span_jobs](const PhaseStats& p) {
     json::Value v{json::Value::Object{}};
     auto& o = v.as_object();
     o.emplace_back("jobs", p.jobs);
@@ -416,6 +489,15 @@ int main(int argc, char** argv) {
                                            p.graph_cache_hits));
     o.emplace_back("rejected", static_cast<long long>(p.rejected));
     o.emplace_back("physics_identical", p.physics_identical);
+    o.emplace_back("spans_complete", p.spans_complete);
+    // Per-job latency attribution (first --span-jobs records): all
+    // modeled-seconds leaves sit under "attribution", matched by the
+    // *attribution* rule in tools/perf_tolerances.json.
+    json::Value jobs_arr{json::Value::Array{}};
+    const std::size_t n = std::min(span_jobs, p.spans.size());
+    for (std::size_t i = 0; i < n; ++i)
+      jobs_arr.push_back(telemetry::span_record_json(p.spans[i]));
+    o.emplace_back("job_spans", std::move(jobs_arr));
     return v;
   };
   json::Value doc{json::Value::Object{}};
@@ -437,7 +519,31 @@ int main(int argc, char** argv) {
   json::write(jf, doc, 2);
   std::cout << "results written to " << out << "\n";
 
+  // Perfetto export: one track per job for the first few warm jobs (the
+  // regime the paper's ensemble argument is about). Opens directly in
+  // ui.perfetto.dev.
+  if (trace) {
+    std::string ptrace = out;
+    const std::string suffix = ".json";
+    if (ptrace.size() > suffix.size() &&
+        ptrace.compare(ptrace.size() - suffix.size(), suffix.size(),
+                       suffix) == 0)
+      ptrace.resize(ptrace.size() - suffix.size());
+    ptrace += ".perfetto.json";
+    const std::size_t n = std::min<std::size_t>(8, warm.spans.size());
+    std::ofstream pf(ptrace);
+    telemetry::write_job_spans_json(
+        pf, std::span<const telemetry::JobSpanRecord>(warm.spans.data(), n));
+    std::cout << "job span tracks written to " << ptrace << " (" << n
+              << " warm jobs)\n";
+  }
+
   if (!identical) return 1;
+  if (trace && !spans_ok) {
+    std::cerr << "FAIL: span-tree completeness gate (missing phase or "
+              << "phase sum outside 1e-6 of modeled wall time)\n";
+    return 1;
+  }
   if (!all_certified) {
     std::cerr << "FAIL: certified regime did not skip shadow checks on "
               << "every rank engine\n";

@@ -21,9 +21,17 @@
 // triad; results go to a machine-readable BENCH_host_exec.json so the
 // perf trajectory of the execution layer can be tracked across commits.
 //
+//  * "flight recorder" — the cost of telemetry::FlightRecorder::record()
+//    per call, measured directly and expressed as a fraction of the
+//    lock-free pool's per-launch dispatch cost (one record per submitted
+//    op is the always-on steady state). The bench *fails* (nonzero exit)
+//    if that fraction exceeds --flight-overhead-max (default 1%) — the
+//    "always on at O(1)" promise, guarded in CI's perf-smoke job.
+//
 // Usage:
 //   bench_host_exec [--threads=1,2,4,8] [--versions=A,D2XU] [--steps=3]
 //                   [--warmup=1] [--triad-iters=200] [--repeats=3]
+//                   [--flight-overhead-max=0.01]
 //                   [--out=BENCH_host_exec.json]
 //
 // Every measurement is repeated --repeats times and the minimum is kept
@@ -45,6 +53,7 @@
 #include "bench_support/run_experiment.hpp"
 #include "par/engine.hpp"
 #include "par/site_table.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "util/timer.hpp"
 #include "variants/code_version.hpp"
 
@@ -60,6 +69,7 @@ struct Options {
   int warmup = 1;
   int triad_iters = 200;
   int repeats = 3;
+  double flight_overhead_max = 0.01;
   std::string out = "BENCH_host_exec.json";
 };
 
@@ -116,6 +126,8 @@ bool parse_args(int argc, char** argv, Options* opt) {
       opt->triad_iters = std::stoi(v5);
     } else if (const char* v6 = value("--repeats=")) {
       opt->repeats = std::stoi(v6);
+    } else if (const char* v8 = value("--flight-overhead-max=")) {
+      opt->flight_overhead_max = std::stod(v8);
     } else if (const char* v7 = value("--out=")) {
       opt->out = v7;
     } else {
@@ -352,6 +364,26 @@ double time_dispatch(Pool& pool, int launches_per_rep, int repeats) {
   return best;
 }
 
+/// Per-call cost of FlightRecorder::record() — the only instruction the
+/// always-on flight recorder adds to Engine::submit (trace id 0 = the
+/// tracing-off configuration). Min-of-repeats over a 1M-call storm.
+double time_flight_record(const Options& opt) {
+  telemetry::FlightRecorder& fr = telemetry::FlightRecorder::process();
+  constexpr int kCalls = 1 << 20;
+  // Warm the ring (touch every slot once).
+  for (int i = 0; i < 1 << 14; ++i)
+    fr.record(telemetry::FlightKind::Launch, 0, 0, 0.0, 0, 0, 512);
+  double best = -1.0;
+  for (int rep = 0; rep < opt.repeats * 3; ++rep) {
+    Timer wall;
+    for (int i = 0; i < kCalls; ++i)
+      fr.record(telemetry::FlightKind::Launch, 0, 0, 0.0, 0, 0, 512);
+    const double per_call = wall.seconds() / kCalls;
+    if (best < 0.0 || per_call < best) best = per_call;
+  }
+  return best;
+}
+
 std::vector<DispatchPoint> run_dispatch(int threads, const Options& opt) {
   const int launches = std::max(200, opt.triad_iters * 10);
   // Repeats are cheap here (each is a pure launch storm), so sample 3x
@@ -421,6 +453,34 @@ int main(int argc, char** argv) {
     dispatch_points.insert(dispatch_points.end(), pts.begin(), pts.end());
   }
 
+  // Flight-recorder overhead: one record() per submitted op vs the
+  // cheapest lock-free dispatch we just measured (the most adverse
+  // denominator — tiny kernels, fastest pool config).
+  const double sec_per_record = time_flight_record(opt);
+  // Denominator: the cheapest lock-free launch that actually ran the
+  // claim protocol (threads=1 short-circuits to a bare loop and measures
+  // the kernel body, not dispatch; fall back to it only if it is all we
+  // have).
+  double fastest_dispatch = -1.0;
+  for (const auto& p : dispatch_points)
+    if (p.pool == "lockfree" && p.threads > 1 &&
+        (fastest_dispatch < 0.0 ||
+         p.host_seconds_per_launch < fastest_dispatch))
+      fastest_dispatch = p.host_seconds_per_launch;
+  if (fastest_dispatch < 0.0)
+    for (const auto& p : dispatch_points)
+      if (p.pool == "lockfree" &&
+          (fastest_dispatch < 0.0 ||
+           p.host_seconds_per_launch < fastest_dispatch))
+        fastest_dispatch = p.host_seconds_per_launch;
+  const double flight_fraction =
+      fastest_dispatch > 0.0 ? sec_per_record / fastest_dispatch : 0.0;
+  std::printf(
+      "flight   record %.1f ns/event  (%.3f%% of a %.3f us lock-free "
+      "dispatch; gate <= %.1f%%)\n",
+      sec_per_record * 1e9, 100.0 * flight_fraction, fastest_dispatch * 1e6,
+      100.0 * opt.flight_overhead_max);
+
   std::FILE* f = std::fopen(opt.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", opt.out.c_str());
@@ -464,8 +524,21 @@ int main(int argc, char** argv) {
                  p.pool.c_str(), p.threads, p.host_seconds_per_launch,
                  i + 1 < dispatch_points.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f,
+               "  ],\n  \"flight_recorder\": {\"host_seconds_per_record\": "
+               "%.12f, \"host_seconds_overhead_fraction\": %.6f, "
+               "\"host_seconds_overhead_max\": %.6f}\n",
+               sec_per_record, flight_fraction, opt.flight_overhead_max);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", opt.out.c_str());
+
+  if (flight_fraction > opt.flight_overhead_max) {
+    std::fprintf(stderr,
+                 "FAIL: flight-recorder overhead %.3f%% of a lock-free "
+                 "dispatch exceeds the %.1f%% gate\n",
+                 100.0 * flight_fraction, 100.0 * opt.flight_overhead_max);
+    return 1;
+  }
   return 0;
 }

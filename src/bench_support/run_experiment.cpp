@@ -15,6 +15,7 @@
 #include "mpisim/comm.hpp"
 #include "par/graph_cache.hpp"
 #include "par/sim_context.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -188,6 +189,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   ExperimentResult result;
   result.ranks.resize(static_cast<std::size_t>(cfg.nranks));
+  result.rank_spans.resize(static_cast<std::size_t>(cfg.nranks));
   if (cfg.capture_stream)
     result.static_reports.resize(static_cast<std::size_t>(cfg.nranks));
   if (cfg.capture_trace)
@@ -213,6 +215,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     ecfg.ctx = &ctx;
     ecfg.shared_pool = cfg.shared_pool;
     ecfg.graph_cache = cfg.graph_cache;
+    ecfg.trace_id = cfg.trace.trace_id;
+    ecfg.flight_rank = rank;
     if (cfg.graph_cache != nullptr) {
       ecfg.graph_cache_scope = shape + "/r" + std::to_string(rank);
       // Certificates cover the WHOLE stream, and an injected-boundary run
@@ -285,12 +289,30 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     timing.graph = engine.graph_stats();
     timing.metrics = engine.metrics_snapshot();
 
+    // Rank span: the full-run ledger category totals. Every advance lands
+    // in exactly one category, so the phases sum to the modeled total by
+    // construction (the span-tree invariant).
+    telemetry::RankSpan span;
+    span.rank = rank;
+    span.ctx = cfg.trace.child(static_cast<u64>(rank) + 1);
+    span.phases.compute_seconds =
+        engine.ledger().total(gpusim::TimeCategory::Compute);
+    span.phases.launch_gap_seconds =
+        engine.ledger().total(gpusim::TimeCategory::LaunchGap);
+    span.phases.data_motion_seconds =
+        engine.ledger().total(gpusim::TimeCategory::DataMotion);
+    span.phases.mpi_exposed_seconds =
+        engine.ledger().total(gpusim::TimeCategory::Mpi);
+    span.phases.hidden_mpi_seconds = engine.ledger().hidden_mpi_time();
+    span.phases.modeled_seconds = engine.ledger().now();
+
     const auto diag = solver.diagnostics();
     const telemetry::SiteProfileSnapshot profile =
         engine.site_profiler().snapshot();
 
     std::lock_guard<std::mutex> lock(result_mutex);
     result.ranks[static_cast<std::size_t>(rank)] = timing;
+    result.rank_spans[static_cast<std::size_t>(rank)] = std::move(span);
     if (cfg.capture_stream)
       result.static_reports[static_cast<std::size_t>(rank)] =
           engine.static_verify();
@@ -326,6 +348,39 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   // Cross-rank merged metrics (per-metric merge policy: counters sum,
   // gauges Max/Sum as declared, histograms add bucket-wise).
   for (const auto& r : result.ranks) result.metrics.merge_from(r.metrics);
+
+  // Canonical dotted families for the run-level outputs, matching the
+  // jobs.*/um.* naming so the Prometheus exporter needs no special cases.
+  // The flat struct fields above stay for one more release (deprecated).
+  const auto add_gauge = [&result](const char* name, double v) {
+    telemetry::MetricSample s;
+    s.name = name;
+    s.kind = telemetry::MetricKind::Gauge;
+    s.merge = telemetry::Merge::Max;
+    s.value = v;
+    result.metrics.samples.push_back(std::move(s));
+  };
+  add_gauge("time.wall_minutes", result.wall_minutes);
+  add_gauge("mpi.exposed_minutes", result.mpi_minutes);
+  add_gauge("mpi.hidden_minutes", result.hidden_mpi_minutes);
+
+  // Flight-recorder dump triggers owned by this layer: a static-verifier
+  // error, or the explicit SIMAS_FLIGHT_DUMP end-of-run request.
+  const std::string& dump_path = ctx.env().flight_dump;
+  if (!dump_path.empty()) {
+    i64 static_errors = 0;
+    for (const auto& rep : result.static_reports)
+      static_errors += rep.errors();
+    telemetry::FlightRecorder& fr = telemetry::FlightRecorder::process();
+    if (static_errors > 0) {
+      fr.note(telemetry::FlightNote::StaticVerifierError, cfg.trace.trace_id,
+              static_errors);
+      fr.dump_to_file(dump_path, "static_verifier_error");
+    } else {
+      fr.note(telemetry::FlightNote::ExplicitDump, cfg.trace.trace_id);
+      fr.dump_to_file(dump_path, "explicit_request");
+    }
+  }
 
   // SIMAS_PROFILE forces the printout; read from the one-time env
   // snapshot, never from getenv() mid-run.

@@ -16,6 +16,8 @@
 #include "par/engine.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/profiler.hpp"
+#include "telemetry/span_tree.hpp"
+#include "telemetry/trace_context.hpp"
 #include "trace/trace.hpp"
 #include "variants/code_version.hpp"
 
@@ -132,6 +134,12 @@ struct ExperimentConfig {
   /// under `shape_key() + "/r<rank>"`, so jobs of identical shape replay
   /// from their very first pass.
   par::GraphCache* graph_cache = nullptr;
+  /// Distributed-trace root for this run (telemetry/trace_context.hpp).
+  /// The JobServer mints one per submitted job; rank r's engine runs as
+  /// child span r+1 and stamps the trace id into every flight-recorder
+  /// event. Default (inactive) = untraced; rank spans are built either
+  /// way, the id is just 0.
+  telemetry::TraceContext trace;
 
   /// PFSS boundary initialization (see BoundaryConfig). When enabled and
   /// `boundary_fields` is null, the PCG solve runs after initialize();
@@ -175,6 +183,14 @@ struct RankTiming {
 };
 
 struct ExperimentResult {
+  // NOTE (deprecation): the flat wall_minutes / mpi_minutes /
+  // hidden_mpi_minutes fields below remain the struct API, but their
+  // canonical metric names are now the dotted families appended to
+  // `metrics` (time.wall_minutes, mpi.exposed_minutes,
+  // mpi.hidden_minutes) so exporters need no special cases. Benches keep
+  // emitting the old flat JSON keys for one release alongside the dotted
+  // ones; new consumers should read the dotted names.
+
   /// Paper-projected wall-clock minutes for the full test problem
   /// (slowest rank; ranks are collective-synchronized so they agree
   /// closely).
@@ -206,6 +222,12 @@ struct ExperimentResult {
   /// Per-rank static-verifier reports (ExperimentConfig::capture_stream;
   /// empty otherwise). Indexed by rank.
   std::vector<analysis::ValidationReport> static_reports;
+  /// Per-rank span-tree phases over the WHOLE run (warmup + measured):
+  /// each rank's full ClockLedger category totals, always filled, one
+  /// entry per rank. The JobServer lifts these into the job's
+  /// JobSpanRecord; the span-sum invariant (telemetry/span_tree.hpp)
+  /// holds by ledger construction.
+  std::vector<telemetry::RankSpan> rank_spans;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg);

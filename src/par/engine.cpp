@@ -8,9 +8,44 @@
 #include "analysis/stream_capture.hpp"
 #include "analysis/validator.hpp"
 #include "par/graph_cache.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "util/logging.hpp"
 
 namespace simas::par {
+
+namespace {
+
+/// OpKind -> FlightKind for the six stream-op kinds (the flight vocabulary
+/// extends the IR's with halo/data/note events).
+telemetry::FlightKind flight_kind(OpKind k) {
+  switch (k) {
+    case OpKind::Launch: return telemetry::FlightKind::Launch;
+    case OpKind::Reduce: return telemetry::FlightKind::Reduce;
+    case OpKind::ArrayReduce: return telemetry::FlightKind::ArrayReduce;
+    case OpKind::Sync: return telemetry::FlightKind::Sync;
+    case OpKind::FusionBreak: return telemetry::FlightKind::FusionBreak;
+    case OpKind::MemHint: return telemetry::FlightKind::MemHint;
+  }
+  return telemetry::FlightKind::Sync;
+}
+
+/// First declared array of a kernel op, -1 when none (sync/fusion ops).
+i32 flight_array(const StreamOp& op) {
+  return std::visit(
+      [](const auto& o) -> i32 {
+        using T = std::decay_t<decltype(o)>;
+        if constexpr (std::is_base_of_v<KernelOp, T>) {
+          return o.accesses.empty() ? -1 : static_cast<i32>(o.accesses[0].id);
+        } else if constexpr (std::is_same_v<T, MemHintOp>) {
+          return static_cast<i32>(o.id);
+        } else {
+          return -1;
+        }
+      },
+      op);
+}
+
+}  // namespace
 
 Engine::Engine(EngineConfig cfg)
     : cfg_(cfg),
@@ -74,14 +109,27 @@ Engine::Engine(EngineConfig cfg)
     // The MemoryManager has a single observer slot: the capture records
     // every data event and forwards it to the validator.
     capture_->set_next(validator_.get());
-    mem_.set_observer(capture_.get());
+    flight_obs_.next = capture_.get();
   } else if (validator_ != nullptr) {
-    mem_.set_observer(validator_.get());
+    flight_obs_.next = validator_.get();
   }
+  // The flight recorder always observes coherence transitions, forwarding
+  // to whatever the capture/validator chain would have received directly.
+  flight_obs_.engine = this;
+  mem_.set_observer(&flight_obs_);
+}
+
+void Engine::FlightMemObserver::on_data_event(gpusim::DataEvent ev,
+                                              gpusim::ArrayId id) {
+  telemetry::FlightRecorder::process().record(
+      telemetry::FlightKind::DataEvent, engine->cfg_.trace_id,
+      engine->cfg_.flight_rank, engine->ledger_.now(), /*site=*/-1,
+      static_cast<i32>(id), /*payload=*/0, static_cast<unsigned char>(ev));
+  if (next != nullptr) next->on_data_event(ev, id);
 }
 
 Engine::~Engine() {
-  if (capture_ != nullptr || validator_ != nullptr) mem_.set_observer(nullptr);
+  mem_.set_observer(nullptr);
   if (certified_) {
     // No validator ran: the integrity contract is the stream hash. A
     // mismatch means this engine's stream was NOT the one certified for
@@ -108,6 +156,7 @@ Engine::~Engine() {
              std::to_string(report.warnings()) + " warning(s) over " +
              std::to_string(report.ops_checked) + " ops");
   }
+  maybe_flight_dump(report);
   if (cfg_.validate_fatal && report.errors() > 0) {
     std::fprintf(stderr,
                  "simas: SIMAS_VALIDATE_FATAL set and the kernel-stream "
@@ -121,7 +170,19 @@ analysis::ValidationReport Engine::take_validation_report() {
   if (validator_ == nullptr) return {};
   analysis::ValidationReport report = validator_->take();
   finalize_certificate(report);
+  maybe_flight_dump(report);
   return report;
+}
+
+void Engine::maybe_flight_dump(const analysis::ValidationReport& report) {
+  if (report.errors() == 0) return;
+  const SimContext& ctx =
+      cfg_.ctx != nullptr ? *cfg_.ctx : SimContext::process();
+  if (ctx.env().flight_dump.empty()) return;
+  telemetry::FlightRecorder& fr = telemetry::FlightRecorder::process();
+  fr.note(telemetry::FlightNote::ValidatorError, cfg_.trace_id,
+          report.errors());
+  fr.dump_to_file(ctx.env().flight_dump, "validator_error");
 }
 
 void Engine::finalize_certificate(const analysis::ValidationReport& report) {
@@ -153,6 +214,12 @@ bool Engine::certified_stream_matches() const {
 void Engine::note_halo_begin(gpusim::ArrayId id, std::size_t radial_stride,
                              int lo_column, int hi_column) {
   if (lo_column < 0 && hi_column < 0) return;
+  telemetry::FlightRecorder::process().record(
+      telemetry::FlightKind::HaloBegin, cfg_.trace_id, cfg_.flight_rank,
+      ledger_.now(), /*site=*/-1, static_cast<i32>(id),
+      static_cast<i64>(radial_stride),
+      static_cast<unsigned char>((lo_column >= 0 ? 1 : 0) |
+                                 (hi_column >= 0 ? 2 : 0)));
   if (validator_ != nullptr)
     validator_->begin_inflight_recv(id, radial_stride, lo_column, hi_column);
   if (capture_ != nullptr)
@@ -160,6 +227,9 @@ void Engine::note_halo_begin(gpusim::ArrayId id, std::size_t radial_stride,
 }
 
 void Engine::note_halo_end(gpusim::ArrayId id) {
+  telemetry::FlightRecorder::process().record(
+      telemetry::FlightKind::HaloEnd, cfg_.trace_id, cfg_.flight_rank,
+      ledger_.now(), /*site=*/-1, static_cast<i32>(id), /*payload=*/0);
   if (validator_ != nullptr) validator_->end_inflight_recv(id);
   if (capture_ != nullptr) capture_->on_halo_end(id);
 }
@@ -254,6 +324,23 @@ void Engine::mem_advise(gpusim::ArrayId id, MemHint advise,
 }
 
 void Engine::submit(StreamOp op) {
+  {
+    // Flight recording: one lock-free ring append per op, always on. The
+    // payload is cells for kernel ops and bytes for hint ops; detail
+    // carries the MemHint code so a dump can name the hint.
+    const OpKind k = op_kind(op);
+    const KernelSite* site = op_site(op);
+    i64 payload = op_cells(op);
+    unsigned char detail = 0;
+    if (const MemHintOp* h = std::get_if<MemHintOp>(&op)) {
+      payload = h->bytes;
+      detail = static_cast<unsigned char>(h->hint);
+    }
+    telemetry::FlightRecorder::process().record(
+        flight_kind(k), cfg_.trace_id, cfg_.flight_rank, ledger_.now(),
+        site != nullptr ? static_cast<i32>(site->id) : -1, flight_array(op),
+        payload, detail);
+  }
   switch (graph_mode_) {
     case GraphMode::Capture:
       active_graph_->append(op);

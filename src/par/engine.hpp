@@ -293,6 +293,9 @@ class Engine {
                            std::initializer_list<Access> acc);
   void submit(StreamOp op);
   void diverge();
+  /// Dump the process flight recorder when a drained validation report
+  /// carries errors and the context's SIMAS_FLIGHT_DUMP path is set.
+  void maybe_flight_dump(const analysis::ValidationReport& report);
   /// Mint the scope's verified-stream certificate from a drained runtime
   /// report + a static pass over the capture (once; first drain wins).
   void finalize_certificate(const analysis::ValidationReport& report);
@@ -542,10 +545,22 @@ class Engine {
     });
   }
 
+  /// Always-installed memory observer: records every coherence transition
+  /// (data directives, host/device access notes) into the process flight
+  /// recorder, then forwards to the capture/validator chain. Recording is
+  /// O(1) and lock-free; `next` is the observer the engine would have
+  /// installed directly before the flight recorder existed.
+  struct FlightMemObserver final : gpusim::MemoryObserver {
+    Engine* engine = nullptr;
+    gpusim::MemoryObserver* next = nullptr;
+    void on_data_event(gpusim::DataEvent ev, gpusim::ArrayId id) override;
+  };
+
   EngineConfig cfg_;
   gpusim::ClockLedger ledger_;
   gpusim::CostModel cost_;
   gpusim::MemoryManager mem_;
+  FlightMemObserver flight_obs_;
   trace::Recorder tracer_;
   /// Kernel execution threads: borrowed (cfg.shared_pool / the context's
   /// shared pool — N engines multiplexing one host-thread budget) or

@@ -29,6 +29,9 @@ EnvConfig EnvConfig::capture() {
   if (e.validate_fatal) e.validate = true;
   e.profile = env_flag("SIMAS_PROFILE");
   e.host_threads = env_positive_int("SIMAS_HOST_THREADS");
+  if (const char* v = std::getenv("SIMAS_FLIGHT_DUMP");
+      v != nullptr && v[0] != '\0')
+    e.flight_dump = v;
   return e;
 }
 

@@ -7,6 +7,8 @@
 // downstream receives the snapshot through SimContext / EngineConfig /
 // ExperimentConfig and never touches the environment again.
 
+#include <string>
+
 namespace simas::par {
 
 struct EnvConfig {
@@ -21,6 +23,13 @@ struct EnvConfig {
   /// resolution policy in bench_support/host_threads.hpp then falls back
   /// to hardware concurrency).
   int host_threads = 0;
+  /// SIMAS_FLIGHT_DUMP: path the flight recorder dumps to. Non-empty
+  /// arms the automatic dump-on-error triggers (validator errors at
+  /// Engine teardown, static-verifier errors, job failures, physics
+  /// divergence) and requests an explicit end-of-run dump from
+  /// run_experiment. Empty = triggers disarmed (recording itself is
+  /// always on; see telemetry/flight_recorder.hpp).
+  std::string flight_dump;
 
   /// Read the environment now. The only getenv() calls in the library.
   static EnvConfig capture();

@@ -127,6 +127,14 @@ struct EngineConfig {
   /// certificate covers the whole stream, so it needs the finer key.
   /// Empty = use graph_cache_scope.
   std::string cert_scope;
+  /// Distributed-trace identity (telemetry/trace_context.hpp): every flight
+  /// recorder event this engine records carries this trace id, so a dump
+  /// can be filtered to one job. 0 = untraced (the default; recording
+  /// happens either way).
+  u64 trace_id = 0;
+  /// Simulated rank this engine runs as, stamped into flight-recorder
+  /// events (mpisim rank-tagged spans). Purely observational.
+  int flight_rank = 0;
 };
 
 /// Snapshot view of the engine.* metrics family, assembled by value from

@@ -22,6 +22,9 @@ class AdmissionQueue {
  public:
   /// A queued job plus its submission timestamp (seconds on the server's
   /// epoch clock) so latency accounting starts at submit, not at pickup.
+  /// The trace context minted at submission rides inside `desc`, so the
+  /// queue-wait span starts where the root span does — nothing about the
+  /// queue itself needs to know about tracing.
   struct Entry {
     JobDescription desc;
     double submitted_at = 0.0;

@@ -1,0 +1,194 @@
+#include "service/introspection.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "service/job_server.hpp"
+#include "telemetry/prometheus.hpp"
+#include "telemetry/span_tree.hpp"
+#include "util/json.hpp"
+
+namespace simas::service {
+
+namespace {
+
+// One complete HTTP response. Responses are tiny (metrics text, a JSON
+// snapshot); a single blocking write with a short retry loop is plenty.
+void write_response(int fd, int status, const char* status_text,
+                    const std::string& content_type,
+                    const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << ' ' << status_text << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  const std::string out = os.str();
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer went away; nothing to clean up beyond the close
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+// Extracts the request path from "GET /path HTTP/1.1...". Empty string =
+// not a GET we can serve.
+std::string parse_get_path(const std::string& request) {
+  if (request.rfind("GET ", 0) != 0) return {};
+  const std::size_t start = 4;
+  const std::size_t end = request.find(' ', start);
+  if (end == std::string::npos) return {};
+  std::string path = request.substr(start, end - start);
+  // Strip a query string; the routes take no parameters.
+  const std::size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);
+  return path;
+}
+
+}  // namespace
+
+IntrospectionServer::IntrospectionServer(JobServer& server,
+                                         IntrospectionConfig cfg)
+    : server_(server) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("introspection: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // observability port:
+                                                  // never bind publicly
+  addr.sin_port = htons(static_cast<unsigned short>(cfg.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("introspection: bind/listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0)
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+IntrospectionServer::~IntrospectionServer() { stop(); }
+
+void IntrospectionServer::stop() {
+  stopping_.store(true);
+  if (thread_.joinable()) thread_.join();  // false after first join
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void IntrospectionServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout (re-check stopping_) or EINTR
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // Read the request head. Requests are one GET line plus headers; 4 KiB
+    // is far more than any scraper sends. Stop at the blank line.
+    std::string request;
+    char buf[1024];
+    while (request.size() < 4096 &&
+           request.find("\r\n\r\n") == std::string::npos) {
+      const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      request.append(buf, static_cast<std::size_t>(n));
+    }
+
+    const std::string path = parse_get_path(request);
+    std::string body, content_type;
+    if (path.empty()) {
+      write_response(client, 400, "Bad Request", "text/plain",
+                     "bad request\n");
+    } else if (handle(path, &body, &content_type)) {
+      write_response(client, 200, "OK", content_type, body);
+    } else {
+      write_response(client, 404, "Not Found", "text/plain", "not found\n");
+    }
+    ::close(client);
+  }
+}
+
+bool IntrospectionServer::handle(const std::string& path, std::string* body,
+                                 std::string* content_type) {
+  if (path == "/healthz") {
+    *body = "ok\n";
+    *content_type = "text/plain";
+    return true;
+  }
+  if (path == "/metrics") {
+    *body = telemetry::to_prometheus(server_.metrics());
+    *content_type = "text/plain; version=0.0.4";
+    return true;
+  }
+  if (path == "/jobs") {
+    *body = jobs_json();
+    *content_type = "application/json";
+    return true;
+  }
+  return false;
+}
+
+std::string IntrospectionServer::jobs_json() {
+  json::Value doc;
+  const AdmissionQueue::Stats qs = server_.queue_stats();
+  json::Value queue;
+  queue.set("depth",
+            json::Value(static_cast<double>(server_.queue_depth())));
+  queue.set("capacity",
+            json::Value(static_cast<double>(server_.queue_capacity())));
+  queue.set("accepted", json::Value(static_cast<double>(qs.accepted)));
+  queue.set("rejected", json::Value(static_cast<double>(qs.rejected)));
+  queue.set("popped", json::Value(static_cast<double>(qs.popped)));
+  doc.set("queue", std::move(queue));
+
+  const double now = server_.now_seconds();
+  json::Value inflight{json::Value::Array{}};
+  for (const JobServer::InFlightJob& j : server_.in_flight()) {
+    json::Value o;
+    o.set("job", json::Value(static_cast<double>(j.id)));
+    o.set("name", json::Value(j.name));
+    o.set("trace_id", json::Value(static_cast<double>(j.trace_id)));
+    o.set("running_seconds", json::Value(now - j.picked_at));
+    inflight.push_back(std::move(o));
+  }
+  doc.set("in_flight", std::move(inflight));
+
+  json::Value completed{json::Value::Array{}};
+  for (const telemetry::JobSpanRecord& rec : server_.recent_completed())
+    completed.push_back(telemetry::span_record_json(rec));
+  doc.set("recent_completed", std::move(completed));
+
+  std::ostringstream os;
+  json::write(os, doc, /*indent=*/1);
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace simas::service

@@ -1,0 +1,67 @@
+#pragma once
+// Live service introspection: a minimal plain-TCP HTTP endpoint the
+// JobServer can expose while serving — the "is the server healthy right
+// now?" surface of DESIGN.md §18. No dependencies beyond POSIX sockets;
+// one background accept thread; every response is built from snapshots
+// (the metrics registry, the in-flight list, the completed-jobs ring), so
+// scraping never blocks a worker.
+//
+// Endpoints:
+//   GET /healthz  -> 200 "ok" (liveness: the accept thread is serving)
+//   GET /metrics  -> Prometheus text exposition of JobServer::metrics()
+//   GET /jobs     -> JSON: queue depth/capacity/stats, in-flight jobs,
+//                    last-N completed span records with latency breakdown
+// Anything else  -> 404.
+//
+// Binding is 127.0.0.1 only (an observability port, not a public API);
+// port 0 (the default) asks the kernel for an ephemeral port — read it
+// back with port(). Started by bench_ensemble --introspect and covered by
+// the mid-run scrape test in tests/test_observability.cpp.
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace simas::service {
+
+class JobServer;
+
+struct IntrospectionConfig {
+  int port = 0;  ///< 0 = ephemeral (kernel-assigned; see port())
+};
+
+class IntrospectionServer {
+ public:
+  /// Binds and starts serving immediately. Throws std::runtime_error when
+  /// the socket cannot be created/bound.
+  IntrospectionServer(JobServer& server, IntrospectionConfig cfg = {});
+  ~IntrospectionServer();
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  /// The port actually bound (the ephemeral port when cfg.port was 0).
+  int port() const { return port_; }
+
+  /// Stop serving and join the accept thread. Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  /// Response body for one route path ("/healthz", "/metrics", "/jobs"),
+  /// exposed for direct testing; fills `content_type`. Returns false for
+  /// unknown routes.
+  bool handle(const std::string& path, std::string* body,
+              std::string* content_type);
+
+ private:
+  void serve_loop();
+  std::string jobs_json();
+
+  JobServer& server_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace simas::service

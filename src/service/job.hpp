@@ -8,6 +8,8 @@
 #include <string>
 
 #include "bench_support/run_experiment.hpp"
+#include "telemetry/span_tree.hpp"
+#include "telemetry/trace_context.hpp"
 #include "util/types.hpp"
 
 namespace simas::service {
@@ -19,6 +21,11 @@ struct JobDescription {
   i64 id = 0;          ///< client-chosen; echoed in the JobResult
   std::string name;    ///< label for logs/metrics (optional)
   bench_support::ExperimentConfig config;
+  /// Trace identity. Normally left default: the server mints a root
+  /// context at submission when tracing is on (JobServerConfig::trace)
+  /// and threads it through the queue into the per-rank engines. A
+  /// client-set context is honored as-is (external propagation).
+  telemetry::TraceContext trace;
 };
 
 struct JobResult {
@@ -36,6 +43,13 @@ struct JobResult {
   // Cache provenance.
   bool field_cache_used = false;  ///< boundary enabled + cache consulted
   bool field_cache_hit = false;   ///< PFSS solve skipped via injection
+
+  /// The job's span tree: root trace context, queue/run host spans,
+  /// per-rank modeled phase spans and cache attribution
+  /// (telemetry/span_tree.hpp). Filled for every completed job; the rank
+  /// spans are moved out of result.rank_spans (the record is the
+  /// canonical owner once the job is done).
+  telemetry::JobSpanRecord spans;
 };
 
 }  // namespace simas::service

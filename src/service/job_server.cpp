@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "bench_support/host_threads.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace simas::service {
 
@@ -19,9 +20,14 @@ JobServer::JobServer(JobServerConfig cfg)
   pool_ = std::make_unique<par::ThreadPool>(width);
   ctx_.set_shared_pool(pool_.get());
 
-  static constexpr std::array<double, 12> kLatencyBounds = {
-      0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
-      0.1,   0.2,   0.5,   1.0,  2.0,  5.0};
+  // Default latency edges: the old set stopped at 5s, which parked every
+  // cold-start job in the overflow bucket and flattened p99 (the bucket
+  // audit of ISSUE 10). Edges now reach 30s, and the registry records the
+  // exact running max alongside, so the tail is never silently clipped.
+  // Per-server overrides via cfg.latency_bounds.
+  static constexpr std::array<double, 14> kDefaultLatencyBounds = {
+      0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,
+      0.2,   0.5,   1.0,   2.0,  5.0,  10.0, 30.0};
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   submitted_ = registry_.counter("jobs.submitted");
   rejected_ = registry_.counter("jobs.rejected");
@@ -29,8 +35,11 @@ JobServer::JobServer(JobServerConfig cfg)
   failed_ = registry_.counter("jobs.failed");
   prewarmed_ = registry_.counter("jobs.prewarmed");
   queue_depth_gauge_ = registry_.gauge("queue.depth");
-  latency_hist_ = registry_.histogram("jobs.latency_seconds",
-                                      kLatencyBounds);
+  latency_hist_ = registry_.histogram(
+      "jobs.latency_seconds",
+      cfg_.latency_bounds.empty()
+          ? std::span<const double>(kDefaultLatencyBounds)
+          : std::span<const double>(cfg_.latency_bounds));
   if (cfg_.autostart) start();
 }
 
@@ -46,6 +55,11 @@ void JobServer::start() {
 }
 
 bool JobServer::submit(JobDescription desc) {
+  // Mint the job's root span here — at submission — so the queue-wait
+  // span starts with the trace. A client-provided context survives
+  // (external propagation).
+  if (cfg_.trace && !desc.trace.active())
+    desc.trace = telemetry::TraceContext::mint();
   AdmissionQueue::Entry e;
   e.submitted_at = epoch_.seconds();
   e.desc = std::move(desc);
@@ -85,8 +99,22 @@ std::vector<JobResult> JobServer::drain() {
 void JobServer::worker_loop() {
   while (auto entry = queue_.pop()) {
     const double picked = epoch_.seconds();
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      in_flight_.push_back(InFlightJob{entry->desc.id, entry->desc.name,
+                                       entry->desc.trace.trace_id, picked});
+    }
     JobResult r = run_job(std::move(entry->desc), entry->submitted_at,
                           picked);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      for (auto it = in_flight_.begin(); it != in_flight_.end(); ++it) {
+        if (it->id == r.id && it->picked_at == picked) {
+          in_flight_.erase(it);
+          break;
+        }
+      }
+    }
     note_completion(r);
     std::lock_guard<std::mutex> lock(state_mutex_);
     results_.push_back(std::move(r));
@@ -94,6 +122,8 @@ void JobServer::worker_loop() {
 }
 
 JobResult JobServer::prewarm(JobDescription desc) {
+  if (cfg_.trace && !desc.trace.active())
+    desc.trace = telemetry::TraceContext::mint();
   const double now = epoch_.seconds();
   JobResult r = run_job(std::move(desc), now, now);
   std::lock_guard<std::mutex> lock(metrics_mutex_);
@@ -107,10 +137,12 @@ JobResult JobServer::run_job(JobDescription desc, double submitted_at,
   r.id = desc.id;
   r.name = std::move(desc.name);
   r.queue_seconds = picked_at - submitted_at;
+  const telemetry::TraceContext trace = desc.trace;
 
   bench_support::ExperimentConfig ecfg = std::move(desc.config);
   ecfg.ctx = &ctx_;
   ecfg.shared_pool = pool_.get();
+  ecfg.trace = trace;
   if (cfg_.enable_graph_cache) ecfg.graph_cache = &graph_cache_;
 
   // Boundary-field cache: resolve the entry once, up front, so every rank
@@ -144,6 +176,26 @@ JobResult JobServer::run_job(JobDescription desc, double submitted_at,
   const double done = epoch_.seconds();
   r.run_seconds = done - picked_at;
   r.latency_seconds = done - submitted_at;
+
+  // Assemble the span record: root context + host-side spans + the rank
+  // phase spans run_experiment built from the ledgers. The record owns
+  // the rank spans from here on.
+  r.spans.ctx = trace;
+  r.spans.job_id = static_cast<u64>(r.id);
+  r.spans.name = r.name;
+  r.spans.queue_host_seconds = r.queue_seconds;
+  r.spans.run_host_seconds = r.run_seconds;
+  r.spans.field_cache_hit = r.field_cache_hit;
+  r.spans.certified = r.result.metrics.counter("cert.certified_runs") > 0;
+  r.spans.ranks = std::move(r.result.rank_spans);
+
+  // A failed job is a flight-dump trigger when SIMAS_FLIGHT_DUMP is set:
+  // the ring still holds the events leading up to the failure.
+  if (!r.ok && !ctx_.env().flight_dump.empty()) {
+    telemetry::FlightRecorder& fr = telemetry::FlightRecorder::process();
+    fr.note(telemetry::FlightNote::JobFailed, trace.trace_id, r.id);
+    fr.dump_to_file(ctx_.env().flight_dump, "job_failed");
+  }
   return r;
 }
 
@@ -155,6 +207,20 @@ void JobServer::note_completion(const JobResult& r) {
     failed_.add(1);
   latency_hist_.observe(r.latency_seconds);
   queue_depth_gauge_.set(static_cast<double>(queue_.depth()));
+  completed_ring_.push_back(r.spans);
+  while (completed_ring_.size() > std::max<std::size_t>(1, cfg_.completed_ring))
+    completed_ring_.pop_front();
+}
+
+std::vector<JobServer::InFlightJob> JobServer::in_flight() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return in_flight_;
+}
+
+std::vector<telemetry::JobSpanRecord> JobServer::recent_completed() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return std::vector<telemetry::JobSpanRecord>(completed_ring_.begin(),
+                                               completed_ring_.end());
 }
 
 telemetry::MetricsSnapshot JobServer::metrics() {

@@ -22,6 +22,7 @@
 // (try_push semantics: false = backpressure), then drain() to close
 // intake, join the workers and collect every result.
 
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -53,6 +54,20 @@ struct JobServerConfig {
   /// whole batch in the queue first (deterministic backpressure tests,
   /// the queued-batch bench regime).
   bool autostart = true;
+  /// Distributed tracing: mint a TraceContext per submitted/prewarmed job
+  /// and thread it through the queue into every rank engine. Span records
+  /// are built for every completed job regardless; `trace` only controls
+  /// whether they carry a live trace id (and thus tag flight-recorder
+  /// events).
+  bool trace = false;
+  /// Latency histogram bucket edges (jobs.latency_seconds). Empty = the
+  /// default edges, which extend to 30s so cold-start jobs land in a real
+  /// bucket instead of flattening the tail into the overflow bucket (the
+  /// registry additionally tracks the exact running max).
+  std::vector<double> latency_bounds;
+  /// How many completed-job span records the server retains for the
+  /// introspection surface's /jobs endpoint (last-N ring).
+  std::size_t completed_ring = 32;
 };
 
 class JobServer {
@@ -95,6 +110,24 @@ class JobServer {
   /// server's own mutex.
   telemetry::MetricsSnapshot metrics();
 
+  /// One job currently being executed by a worker (introspection view).
+  struct InFlightJob {
+    i64 id = 0;
+    std::string name;
+    u64 trace_id = 0;
+    double picked_at = 0.0;  ///< seconds on the server epoch clock
+  };
+
+  /// Jobs currently inside run_job, in pickup order.
+  std::vector<InFlightJob> in_flight() const;
+  /// The last-N completed jobs' span records, oldest first
+  /// (JobServerConfig::completed_ring bounds N).
+  std::vector<telemetry::JobSpanRecord> recent_completed() const;
+  /// Seconds since the server's epoch (the clock every InFlightJob /
+  /// queue timestamp is on).
+  double now_seconds() const { return epoch_.seconds(); }
+  std::size_t queue_capacity() const { return queue_.capacity(); }
+
  private:
   void worker_loop();
   JobResult run_job(JobDescription desc, double submitted_at,
@@ -115,11 +148,14 @@ class JobServer {
   bool started_ = false;
   bool drained_ = false;
 
-  std::mutex metrics_mutex_;
+  mutable std::mutex metrics_mutex_;
   telemetry::Registry registry_;
   telemetry::Counter submitted_, rejected_, completed_, failed_, prewarmed_;
   telemetry::Gauge queue_depth_gauge_;
   telemetry::Histogram latency_hist_;
+  /// Introspection state (guarded by metrics_mutex_ like the registry).
+  std::vector<InFlightJob> in_flight_;
+  std::deque<telemetry::JobSpanRecord> completed_ring_;
 };
 
 }  // namespace simas::service

@@ -74,6 +74,7 @@ Histogram Registry::histogram(std::string_view name,
     hist_counts_.insert(hist_counts_.end(), bounds.size() + 1, 0);
     hist_sums_.push_back(0.0);
     hist_totals_.push_back(0);
+    hist_maxs_.push_back(0.0);
   }
   return Histogram(this, idx);
 }
@@ -101,6 +102,7 @@ MetricsSnapshot Registry::snapshot() const {
             hist_counts_.begin() + info.counts_off + info.nbounds + 1);
         s.value = hist_sums_[info.slot];
         s.count = hist_totals_[info.slot];
+        s.max = hist_maxs_[info.slot];
         break;
     }
     snap.samples.push_back(std::move(s));
@@ -154,6 +156,8 @@ void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
       case MetricKind::Histogram:
         if (mine->bounds == o.bounds &&
             mine->buckets.size() == o.buckets.size()) {
+          if (o.count > 0 && (mine->count == 0 || o.max > mine->max))
+            mine->max = o.max;
           for (std::size_t i = 0; i < mine->buckets.size(); ++i)
             mine->buckets[i] += o.buckets[i];
           mine->count += o.count;
@@ -185,6 +189,7 @@ void MetricsSnapshot::write_json(std::ostream& os) const {
         h.set("buckets", std::move(buckets));
         h.set("count", json::Value(static_cast<long long>(s.count)));
         h.set("sum", json::Value(s.value));
+        h.set("max", json::Value(s.max));
         metrics.set(s.name, std::move(h));
         break;
       }

@@ -97,6 +97,11 @@ struct MetricSample {
   Merge merge = Merge::Sum;
   i64 count = 0;       ///< counter value, or histogram total sample count
   double value = 0.0;  ///< gauge value, or histogram sample sum
+  /// Histogram: exact running max of every observed sample (meaningful
+  /// only when count > 0). Bucketed data alone flattens the tail — a
+  /// cold-start job landing in the overflow bucket reports "somewhere
+  /// past the last edge"; the max pins it exactly.
+  double max = 0.0;
   std::vector<double> bounds;  ///< histogram upper bounds (empty otherwise)
   std::vector<i64> buckets;    ///< bounds.size() + 1 entries (overflow last)
 };
@@ -160,6 +165,7 @@ class Registry {
   std::vector<i64> hist_counts_;     ///< flattened per-histogram buckets
   std::vector<double> hist_sums_;    ///< per-histogram sample sum
   std::vector<i64> hist_totals_;     ///< per-histogram sample count
+  std::vector<double> hist_maxs_;    ///< per-histogram exact running max
 };
 
 // ---- inline hot-path operations -------------------------------------
@@ -189,6 +195,8 @@ inline void Histogram::observe(double v) {
   while (b < info.nbounds && v > bounds[b]) ++b;
   reg_->hist_counts_[info.counts_off + b] += 1;
   reg_->hist_sums_[info.slot] += v;
+  if (reg_->hist_totals_[info.slot] == 0 || v > reg_->hist_maxs_[info.slot])
+    reg_->hist_maxs_[info.slot] = v;
   reg_->hist_totals_[info.slot] += 1;
 }
 

@@ -212,4 +212,46 @@ void Comparison::print(std::ostream& os) const {
     if (!r.failed || failures == 0) emit(r);
 }
 
+void Comparison::print_summary(std::ostream& os, std::size_t top_n) const {
+  if (failures == 0) return;
+  std::vector<const MetricDiff*> failed;
+  for (const MetricDiff& r : rows)
+    if (r.failed) failed.push_back(&r);
+  const auto rel_delta = [](const MetricDiff& r) {
+    return std::abs(r.current - r.baseline) /
+           std::max(std::abs(r.baseline), 1e-300);
+  };
+  std::sort(failed.begin(), failed.end(),
+            [&](const MetricDiff* a, const MetricDiff* b) {
+              return rel_delta(*a) > rel_delta(*b);
+            });
+  const std::size_t shown = std::min(top_n, failed.size());
+  os << "== perf summary: top " << shown << " of " << failed.size()
+     << " regression(s) by relative delta ==\n";
+  char buf[224];
+  std::snprintf(buf, sizeof(buf), "  %-48s %14s %14s %12s  %s\n", "metric",
+                "baseline", "current", "delta", "rule");
+  os << buf;
+  for (std::size_t i = 0; i < shown; ++i) {
+    const MetricDiff& r = *failed[i];
+    if (!r.note.empty() && r.note == "missing in current") {
+      std::snprintf(buf, sizeof(buf), "  %-48s %14.8g %14s %12s  %s\n",
+                    r.path.c_str(), r.baseline, "(missing)", "-",
+                    r.rule.empty() ? "(exact)" : r.rule.c_str());
+    } else {
+      const double delta = r.current - r.baseline;
+      char delta_s[40];
+      std::snprintf(delta_s, sizeof(delta_s), "%+.3g (%+.2f%%)", delta,
+                    100.0 * delta /
+                        std::max(std::abs(r.baseline), 1e-300));
+      std::snprintf(buf, sizeof(buf), "  %-48s %14.8g %14.8g %12s  %s\n",
+                    r.path.c_str(), r.baseline, r.current, delta_s,
+                    r.rule.empty() ? "(exact)" : r.rule.c_str());
+    }
+    os << buf;
+  }
+  if (failed.size() > shown)
+    os << "  ... " << (failed.size() - shown) << " more (full list above)\n";
+}
+
 }  // namespace simas::telemetry

@@ -73,6 +73,11 @@ struct Comparison {
   bool ok() const { return failures == 0; }
   /// Full report: every compared leaf with verdicts, failures up top.
   void print(std::ostream& os) const;
+  /// Human-readable digest of the worst regressions: the top-N failed
+  /// leaves sorted by relative delta, as an aligned table (metric,
+  /// baseline, current, delta, matched rule). No-op when nothing failed —
+  /// this is the "what do I look at first" view for a red CI run.
+  void print_summary(std::ostream& os, std::size_t top_n = 10) const;
 };
 
 Comparison compare(const json::Value& baseline, const json::Value& current,

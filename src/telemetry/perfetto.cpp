@@ -87,4 +87,76 @@ void write_perfetto_json(std::ostream& os, const trace::Recorder& rec,
   write_perfetto_json(os, std::span<const TraceSource>(&src, 1));
 }
 
+namespace {
+
+json::Value span_event(int pid, int tid, const char* name, double t0,
+                       double dur) {
+  json::Value ev{json::Value::Object{}};
+  ev.set("ph", json::Value("X"));
+  ev.set("pid", json::Value(pid));
+  ev.set("tid", json::Value(tid));
+  ev.set("ts", json::Value(t0 * 1e6));
+  ev.set("dur", json::Value(dur * 1e6));
+  ev.set("name", json::Value(name));
+  ev.set("cat", json::Value("span"));
+  return ev;
+}
+
+}  // namespace
+
+void write_job_spans_json(std::ostream& os,
+                          std::span<const JobSpanRecord> jobs) {
+  json::Value events{json::Value::Array{}};
+  int pid = 0;
+  for (const JobSpanRecord& job : jobs) {
+    const std::string title = "job " + std::to_string(job.job_id) +
+                              (job.name.empty() ? "" : ": " + job.name);
+    events.push_back(meta_event(pid, -1, "process_name", title, -1));
+    events.push_back(meta_event(pid, -1, "process_sort_index", title, pid));
+    events.push_back(meta_event(pid, 0, "thread_name", "host", -1));
+    events.push_back(meta_event(pid, 0, "thread_sort_index", "", 0));
+
+    // Host track: seconds since submission.
+    events.push_back(
+        span_event(pid, 0, "queue wait", 0.0, job.queue_host_seconds));
+    events.push_back(span_event(pid, 0, "run", job.queue_host_seconds,
+                                job.run_host_seconds));
+
+    // One attribution track per rank, modeled phases as adjacent blocks.
+    for (const RankSpan& rank : job.ranks) {
+      const int tid = 1 + rank.rank;
+      events.push_back(meta_event(
+          pid, tid, "thread_name", "rank " + std::to_string(rank.rank), -1));
+      events.push_back(meta_event(pid, tid, "thread_sort_index", "", tid));
+      double t = 0.0;
+      const PhaseTotals& ph = rank.phases;
+      const struct {
+        const char* name;
+        double dur;
+      } blocks[] = {{"compute", ph.compute_seconds},
+                    {"launch gap", ph.launch_gap_seconds},
+                    {"data motion", ph.data_motion_seconds},
+                    {"exposed mpi", ph.mpi_exposed_seconds}};
+      for (const auto& b : blocks) {
+        if (b.dur <= 0.0) continue;
+        json::Value ev = span_event(pid, tid, b.name, t, b.dur);
+        if (b.name[0] == 'e' && ph.hidden_mpi_seconds > 0.0) {
+          json::Value args{json::Value::Object{}};
+          args.set("hidden_mpi_seconds",
+                   json::Value(ph.hidden_mpi_seconds));
+          ev.set("args", std::move(args));
+        }
+        events.push_back(std::move(ev));
+        t += b.dur;
+      }
+    }
+    ++pid;
+  }
+  json::Value root{json::Value::Object{}};
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", json::Value("ms"));
+  json::write(os, root, 1);
+  os << '\n';
+}
+
 }  // namespace simas::telemetry

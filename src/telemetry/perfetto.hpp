@@ -18,6 +18,7 @@
 #include <string>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/span_tree.hpp"
 #include "trace/trace.hpp"
 
 namespace simas::telemetry {
@@ -36,5 +37,14 @@ void write_perfetto_json(std::ostream& os,
 /// Convenience: single recorder, single rank.
 void write_perfetto_json(std::ostream& os, const trace::Recorder& rec,
                          int pid = 0, std::string process_name = "rank 0");
+
+/// Job span trees as a Chrome-trace document: one process row (track) per
+/// job. Track 0 is the host timeline (queue wait, then execution, in host
+/// seconds from submission); one further track per rank lays that rank's
+/// modeled phase attribution out as consecutive blocks (compute, launch
+/// gap, data motion, exposed MPI) — an attribution bar, not a replayed
+/// timeline. Hidden MPI rides as an `args` annotation on the MPI block.
+void write_job_spans_json(std::ostream& os,
+                          std::span<const JobSpanRecord> jobs);
 
 }  // namespace simas::telemetry

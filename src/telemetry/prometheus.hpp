@@ -1,0 +1,33 @@
+#pragma once
+// Prometheus text exposition (version 0.0.4) rendered from a metrics
+// snapshot. This is what service::IntrospectionServer serves at /metrics.
+//
+// Mapping: dotted SIMAS families become underscore-separated Prometheus
+// names under a `simas_` prefix (`jobs.latency_seconds` ->
+// `simas_jobs_latency_seconds`), counters/gauges map directly, and
+// histograms expand to the conventional cumulative `_bucket{le="..."}`
+// series plus `_sum` / `_count` — and a `_max` gauge carrying the exact
+// running maximum the registry tracks alongside the buckets. No metric
+// family needs a special case: that is precisely why run_experiment
+// publishes its outputs under the same dotted families (see DESIGN.md
+// §18).
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.hpp"
+
+namespace simas::telemetry {
+
+/// Prometheus metric name for a SIMAS dotted metric name: `simas_` prefix,
+/// every character outside [a-zA-Z0-9_] replaced with '_'.
+std::string prometheus_name(std::string_view name);
+
+/// Render the whole snapshot in Prometheus text exposition format.
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snap);
+
+/// Convenience: render to a string (what the HTTP handler sends).
+std::string to_prometheus(const MetricsSnapshot& snap);
+
+}  // namespace simas::telemetry

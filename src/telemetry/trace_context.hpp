@@ -1,0 +1,40 @@
+#pragma once
+// Distributed trace propagation: the allocation-free identity a request
+// carries from JobServer submission through the AdmissionQueue, the
+// worker, and every per-rank Engine the job spawns.
+//
+// A TraceContext is two integers — nothing else. Minting one is a single
+// relaxed atomic increment; copying it through JobDescription /
+// ExperimentConfig / EngineConfig costs two stores. Everything heavier
+// (span trees, Perfetto tracks, attribution records) is built *after* the
+// job completes, from the phase totals the modeled clocks already
+// maintain, so tracing adds no allocation and no synchronization to the
+// dispatch hot path (see DESIGN.md §18).
+//
+// trace_id == 0 means "not traced": every recording point checks that one
+// integer and does nothing else when tracing is off.
+
+#include <atomic>
+
+#include "util/types.hpp"
+
+namespace simas::telemetry {
+
+struct TraceContext {
+  u64 trace_id = 0;  ///< request identity; 0 = tracing off
+  u64 span_id = 0;   ///< position in the job's span tree (root = 1)
+
+  bool active() const { return trace_id != 0; }
+
+  /// Child context: same trace, a derived span id. Rank r of a job gets
+  /// child(r + 1), so span ids are stable and allocation-free.
+  TraceContext child(u64 n) const { return TraceContext{trace_id, n + 1}; }
+
+  /// Mint a fresh root context (process-monotonic trace id, span id 1).
+  static TraceContext mint() {
+    static std::atomic<u64> next{1};
+    return TraceContext{next.fetch_add(1, std::memory_order_relaxed), 1};
+  }
+};
+
+}  // namespace simas::telemetry

@@ -1,12 +1,16 @@
 // perf_check: CI perf-regression gate.
 //
-//   perf_check [--rules=FILE] BASELINE.json CURRENT.json
+//   perf_check [--rules=FILE] [--summary[=N]] BASELINE.json CURRENT.json
 //
 // Flattens every numeric leaf of both files, applies the first-match-wins
 // tolerance rules (telemetry/perf_compare.hpp), prints the comparison, and
 // exits 1 if any metric regressed beyond its tolerance (or a baseline
 // metric disappeared). With no --rules, every leaf must match exactly —
 // the right default for SIMAS's deterministic modeled clocks.
+//
+// --summary[=N] appends a digest on failure: the top-N (default 10) failed
+// leaves sorted by relative delta as an aligned table, so a red CI run
+// leads with the worst offender instead of a wall of rows.
 
 #include <cstdio>
 #include <fstream>
@@ -40,13 +44,22 @@ bool load_json(const std::string& path, simas::json::Value* out) {
 
 int main(int argc, char** argv) {
   std::string rules_path;
+  bool summary = false;
+  std::size_t summary_n = 10;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--rules=", 0) == 0) {
       rules_path = arg.substr(8);
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg.rfind("--summary=", 0) == 0) {
+      summary = true;
+      summary_n = static_cast<std::size_t>(std::stoul(arg.substr(10)));
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: perf_check [--rules=FILE] BASELINE.json CURRENT.json\n");
+      std::printf(
+          "usage: perf_check [--rules=FILE] [--summary[=N]] BASELINE.json "
+          "CURRENT.json\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "perf_check: unknown option %s\n", arg.c_str());
@@ -83,5 +96,6 @@ int main(int argc, char** argv) {
   std::cout << "perf_check: " << positional[1] << " vs baseline "
             << positional[0] << "\n";
   cmp.print(std::cout);
+  if (summary) cmp.print_summary(std::cout, summary_n);
   return cmp.ok() ? 0 : 1;
 }
